@@ -1,0 +1,28 @@
+# Convenience targets for the J-Machine reproduction.
+
+.PHONY: install test bench paper report examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every table and figure at the paper's sizes (slow).
+paper:
+	JM_SCALE=paper python -m repro.bench --out RESULTS_PAPER.md
+
+# Quick full report at small scale.
+report:
+	python -m repro.bench --out RESULTS.md
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results.txt \
+	       RESULTS.md RESULTS_PAPER.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

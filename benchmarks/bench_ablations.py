@@ -1,0 +1,87 @@
+"""Ablations: what each MDP mechanism buys (beyond the paper's tables)."""
+
+import pytest
+
+from repro.bench import ablations
+
+
+def test_dispatch_cost_ablation(benchmark, record_table):
+    series = benchmark.pedantic(
+        ablations.dispatch_cost_ablation,
+        kwargs={"dispatch_cycles": (4, 50, 200)},
+        rounds=1, iterations=1,
+    )
+    record_table(ablations.format_dispatch(series))
+    # Each round trip contains two dispatches: RTT grows ~2x the delta.
+    rtt = dict(zip(series.values, series.metrics))
+    assert rtt[200] - rtt[4] == pytest.approx(2 * (200 - 4), abs=20)
+
+
+def test_suspend_policy_ablation(benchmark, record_table):
+    series = benchmark.pedantic(
+        ablations.suspend_policy_ablation,
+        kwargs={"n_nodes": 16},
+        rounds=1, iterations=1,
+    )
+    record_table(ablations.format_suspend(series))
+    assert series.metrics == sorted(series.metrics)
+
+
+def test_emem_latency_ablation(benchmark, record_table):
+    series = benchmark.pedantic(
+        ablations.emem_bandwidth_ablation, rounds=1, iterations=1
+    )
+    record_table(ablations.format_emem(series))
+    # Slower memory, lower terminal bandwidth — strictly.
+    assert series.metrics == sorted(series.metrics, reverse=True)
+
+
+def test_flow_control_ablation(benchmark, record_table):
+    """Return-to-sender frees the path a refused message would block."""
+    series = benchmark.pedantic(
+        ablations.flow_control_ablation, rounds=1, iterations=1
+    )
+    record_table(ablations.format_flow_control(series))
+    results = dict(zip(series.values, series.metrics))
+    assert results["return_to_sender"] * 5 < results["block"]
+
+
+def test_node_tlb_ablation(benchmark, record_table):
+    """The proposed node TLB removes the per-message NNR calculation."""
+    series = benchmark.pedantic(
+        ablations.node_tlb_ablation, rounds=1, iterations=1
+    )
+    record_table(ablations.format_node_tlb(series))
+    software, tlb = series.metrics
+    assert tlb < software
+
+
+def test_queue_pressure_ablation(benchmark, record_table):
+    """N-Queens board buffering vs the 128-message hardware budget."""
+    series = benchmark.pedantic(
+        ablations.queue_pressure_ablation, kwargs={"n_values": (4, 16)},
+        rounds=1, iterations=1,
+    )
+    record_table(ablations.format_queue_pressure(series))
+    # Bigger machines expand more tasks per node up front.
+    assert series.metrics[-1] >= series.metrics[0]
+
+
+def test_arbitration_fairness_ablation(benchmark, record_table):
+    """Fixed-priority injection starvation vs round-robin fairness."""
+    series = benchmark.pedantic(
+        ablations.arbitration_fairness_ablation, rounds=1, iterations=1
+    )
+    record_table(ablations.format_arbitration(series))
+    results = dict(zip(series.values, series.metrics))
+    assert results["fixed"] > results["round_robin"] * 1.3
+
+
+def test_tsp_priority_one_ablation(benchmark, record_table):
+    """Priority-1 bound delivery removes the null-call yield tax."""
+    series = benchmark.pedantic(
+        ablations.tsp_priority_ablation, rounds=1, iterations=1
+    )
+    record_table(ablations.format_tsp_priority(series))
+    yields, priority_one = series.metrics
+    assert priority_one < yields

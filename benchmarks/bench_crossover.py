@@ -1,0 +1,36 @@
+"""Grain-size crossover: fine-grained messaging vs block transfers."""
+
+import pytest
+
+from repro.bench import crossover
+
+
+@pytest.fixture(scope="module")
+def result():
+    return crossover.run()
+
+
+def test_crossover_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(
+        crossover.run, kwargs={"n_nodes": 8, "n_keys": 2048},
+        rounds=1, iterations=1,
+    )
+    record_table(crossover.format_result(outcome))
+
+
+def test_fine_grain_affordable_on_jmachine(result):
+    """With MDP overheads, message-per-key costs at most ~30% extra."""
+    assert result.penalty("J-Machine (4+4)") < 1.35
+
+
+def test_fine_grain_prohibitive_at_vendor_overheads(result):
+    """With vendor-library overheads it is several times slower."""
+    assert result.penalty("vendor class (~2900)") > 3.0
+
+
+def test_penalty_monotone_in_overhead(result):
+    """Each step up in per-message cost widens the gap."""
+    penalties = [result.penalty(label)
+                 for label, _, _ in crossover.OVERHEAD_SWEEP]
+    for earlier, later in zip(penalties, penalties[1:]):
+        assert later > earlier * 0.98  # tolerate tiny noise

@@ -1,0 +1,58 @@
+"""Cross-validation artifact: the two simulation levels vs each other.
+
+Not a paper table, but the evidence behind DESIGN.md's central
+substitution claim: the event-level macro simulator reproduces the
+cycle-accurate machine's behaviour.  LCS runs at both levels at a size
+small enough for cycle simulation.
+"""
+
+import pytest
+
+from repro.apps.lcs import LcsParams, run_parallel as run_macro
+from repro.apps.lcs_cycle import run_cycle_lcs
+from repro.bench.harness import format_table
+
+PARAMS = LcsParams(a_len=32, b_len=64)
+
+
+@pytest.fixture(scope="module")
+def results():
+    cycle = run_cycle_lcs(4, PARAMS)
+    macro = run_macro(4, PARAMS)
+    return cycle, macro
+
+
+def test_crossvalidation_regenerates(benchmark, record_table):
+    def measure():
+        return run_cycle_lcs(4, PARAMS), run_macro(4, PARAMS)
+
+    cycle, macro = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["quantity", "cycle level", "macro level"],
+        [
+            ["LCS length", cycle.lcs_length, macro.output],
+            ["run time (cycles)", cycle.cycles, macro.cycles],
+            ["instructions", cycle.instructions,
+             macro.total_instructions()],
+            ["threads", cycle.threads, macro.total_threads()],
+        ],
+        title="Cross-validation: LCS in MDP assembly vs macro handlers "
+              "(32x64, 4 nodes)",
+    )
+    record_table(table)
+
+
+def test_same_answer(results):
+    cycle, macro = results
+    assert cycle.lcs_length == macro.output
+
+
+def test_instruction_counts_within_15_percent(results):
+    cycle, macro = results
+    assert macro.total_instructions() == pytest.approx(
+        cycle.instructions, rel=0.15)
+
+
+def test_run_times_within_50_percent(results):
+    cycle, macro = results
+    assert macro.cycles == pytest.approx(cycle.cycles, rel=0.5)

@@ -1,0 +1,40 @@
+"""Figure 2: round-trip RPC latency vs distance (cycle-level)."""
+
+import pytest
+
+from repro.bench import fig2
+from repro.bench.reference import PAPER_FIG2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2.run(iterations=15)
+
+
+def test_fig2_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(fig2.run, kwargs={"iterations": 10},
+                                 rounds=1, iterations=1)
+    record_table(fig2.format_result(outcome))
+    assert set(outcome.series) == set(fig2.SERIES)
+
+
+def test_slope_is_two_cycles_per_hop(result):
+    for name in fig2.SERIES:
+        assert result.slope(name) == pytest.approx(
+            PAPER_FIG2["slope_per_hop_round_trip"], abs=0.4)
+
+
+def test_base_ping_near_43(result):
+    assert result.series["Ping"][0] == pytest.approx(
+        PAPER_FIG2["ping_base_cycles"], abs=4)
+
+
+def test_series_ordering_matches_figure(result):
+    """At every distance: Ping < R1 Imem <= R1 Emem < R6 Imem < R6 Emem."""
+    for hops in result.series["Ping"]:
+        ping = result.series["Ping"][hops]
+        r1i = result.series["Read 1 (Imem)"][hops]
+        r1e = result.series["Read 1 (Emem)"][hops]
+        r6i = result.series["Read 6 (Imem)"][hops]
+        r6e = result.series["Read 6 (Emem)"][hops]
+        assert ping < r1i <= r1e < r6i < r6e

@@ -1,0 +1,45 @@
+"""Figure 3 (right): processor efficiency vs grain size."""
+
+import pytest
+
+from repro.bench import fig3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig3.run()
+
+
+def test_fig3_right_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(
+        fig3.run,
+        kwargs={"measure_cycles": 3000, "idles": (0, 100, 400, 1600, 4000)},
+        rounds=1, iterations=1,
+    )
+    record_table(fig3.format_efficiency_table(outcome))
+
+
+def test_efficiency_monotone_in_grain(result):
+    for length, series in result.points.items():
+        ordered = sorted(series, key=lambda p: p.grain_cycles)
+        efficiencies = [p.efficiency for p in ordered]
+        # Allow tiny non-monotonicity from measurement noise.
+        for early, late in zip(efficiencies, efficiencies[1:]):
+            assert late >= early - 0.05
+
+
+def test_coarse_grain_reaches_high_efficiency(result):
+    for length in result.points:
+        best = max(p.efficiency for p in result.points[length])
+        assert best > 0.9
+
+
+def test_half_power_point_in_paper_range(result):
+    """Paper: 50% efficiency between 100 and 300 cycles/message."""
+    for length in result.points:
+        grain = result.half_power_grain(length)
+        assert 45 <= grain <= 400
+
+
+def test_longer_messages_need_more_grain(result):
+    assert result.half_power_grain(16) > result.half_power_grain(2)

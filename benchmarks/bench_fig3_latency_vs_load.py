@@ -1,0 +1,53 @@
+"""Figure 3 (left): one-way latency vs bisection traffic (flit-level)."""
+
+import pytest
+
+from repro.bench import fig3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig3.run()
+
+
+def test_fig3_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(
+        fig3.run,
+        kwargs={"measure_cycles": 3000, "idles": (0, 200, 1600)},
+        rounds=1, iterations=1,
+    )
+    record_table(fig3.format_latency_table(outcome))
+
+
+def test_latency_rises_with_load(result):
+    """Contention latency appears as offered load grows.
+
+    Long messages drive the network hardest, so their curves must rise
+    clearly; short-message curves (whose offered load is limited by the
+    45-cycle loop) must at least not *fall* under load.
+    """
+    for length, series in result.points.items():
+        loaded = min(series, key=lambda p: p.idle_cycles)
+        light = max(series, key=lambda p: p.idle_cycles)
+        if length >= 8:
+            assert loaded.one_way_latency_cycles > \
+                light.one_way_latency_cycles * 1.05
+        else:
+            assert loaded.one_way_latency_cycles > \
+                light.one_way_latency_cycles - 3
+
+
+def test_zero_load_latency_ordered_by_length(result):
+    lengths = sorted(result.points)
+    latencies = [result.zero_load_latency(length) for length in lengths]
+    assert latencies == sorted(latencies)
+
+
+def test_long_messages_drive_more_traffic(result):
+    assert result.saturation_traffic(16) > result.saturation_traffic(2)
+
+
+def test_saturation_below_capacity(result):
+    """Wormhole saturates well below the wire peak (paper: ~half)."""
+    for length in result.points:
+        assert result.saturation_traffic(length) < result.capacity_bits_per_s

@@ -1,0 +1,40 @@
+"""Figure 4: terminal network bandwidth vs message size."""
+
+import pytest
+
+from repro.bench import fig4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig4.run()
+
+
+def test_fig4_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    record_table(fig4.format_result(outcome))
+
+
+def test_eight_words_near_ninety_percent(result):
+    assert result.fraction_of_peak("discard", 8) == pytest.approx(0.9, abs=0.05)
+
+
+def test_two_words_above_half_of_peak(result):
+    assert result.fraction_of_peak("discard", 2) > 0.5
+
+
+def test_curves_monotone_in_size(result):
+    for mode in fig4.SINK_MODES:
+        rates = [result.curves[mode][s].bits_per_s
+                 for s in sorted(result.curves[mode])]
+        assert rates == sorted(rates)
+
+
+def test_memory_copies_cap_bandwidth(result):
+    """The critique: EMEM accepts data ~3x slower than the network
+    delivers it; IMEM copy sits between."""
+    discard = result.curves["discard"][16].bits_per_s
+    imem = result.curves["imem"][16].bits_per_s
+    emem = result.curves["emem"][16].bits_per_s
+    assert discard > imem > emem
+    assert discard / emem >= 2.5

@@ -1,0 +1,57 @@
+"""Figure 5: application speedup vs machine size."""
+
+import pytest
+
+from repro.bench import fig5
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5.run()
+
+
+def test_fig5_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(
+        fig5.run, kwargs={"max_nodes": 16}, rounds=1, iterations=1
+    )
+    record_table(fig5.format_result(outcome))
+
+
+def test_all_apps_speed_up(result):
+    """Every application is faster on the largest machine than on one."""
+    largest = result.node_counts[-1]
+    for app in result.run_cycles:
+        sizes = sorted(result.run_cycles[app])
+        assert result.speedup(app, sizes[-1]) > result.speedup(app, sizes[0])
+
+
+def test_tsp_superlinear_on_small_machines(result):
+    """Paper: pruning makes small-machine TSP super-linear."""
+    speedups = [result.speedup("tsp", n) / n
+                for n in (2, 4) if n in result.run_cycles["tsp"]]
+    assert max(speedups) > 0.95
+
+
+def test_lcs_bends_over(result):
+    """LCS efficiency decays as chunks shrink (entry/exit overhead)."""
+    sizes = sorted(result.run_cycles["lcs"])
+    small, large = sizes[1], sizes[-1]
+    eff_small = result.speedup("lcs", small) / small
+    eff_large = result.speedup("lcs", large) / large
+    assert eff_large < eff_small
+
+
+def test_radix_two_node_speedup_modest(result):
+    """Paper: 1.3x from 1 to 2 nodes (remote writes ~3x local)."""
+    if 2 in result.run_cycles["radix_sort"]:
+        assert 1.0 < result.speedup("radix_sort", 2) < 2.0
+
+
+def test_nqueens_scales_well(result):
+    """N-Queens tracks closer to ideal than LCS at the largest size."""
+    sizes = sorted(set(result.run_cycles["nqueens"])
+                   & set(result.run_cycles["lcs"]))
+    largest = sizes[-1]
+    nq = result.speedup("nqueens", largest) / largest
+    lcs_eff = result.speedup("lcs", largest) / largest
+    assert nq > lcs_eff

@@ -1,0 +1,52 @@
+"""Figure 6: per-node function breakdown on a 64-node machine."""
+
+import pytest
+
+from repro.bench import fig6
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig6.run(n_nodes=64)
+
+
+def test_fig6_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(
+        fig6.run, kwargs={"n_nodes": 16}, rounds=1, iterations=1
+    )
+    record_table(fig6.format_result(outcome))
+
+
+def test_fractions_are_sane(result):
+    for app, breakdown in result.breakdowns.items():
+        total = sum(breakdown.values())
+        assert total == pytest.approx(1.0, abs=1e-6), app
+        assert all(0 <= v <= 1 for v in breakdown.values()), app
+
+
+def test_compute_dominates_everywhere(result):
+    """All four applications are computation-dominated (paper Fig 6)."""
+    for app, breakdown in result.breakdowns.items():
+        assert breakdown["compute"] > 0.4, app
+
+
+def test_tsp_idles_less_than_nqueens(result):
+    """Dynamic balancing (TSP) vs static distribution (N-Queens)."""
+    assert result.breakdowns["tsp"]["idle"] < \
+        result.breakdowns["nqueens"]["idle"]
+
+
+def test_tsp_pays_sync_and_xlate(result):
+    """CST's null-call yields and global names are visible costs."""
+    assert result.breakdowns["tsp"]["sync"] > 0.02
+    assert result.breakdowns["tsp"]["xlate"] > 0.01
+    for other in ("lcs", "nqueens"):
+        assert result.breakdowns["tsp"]["xlate"] > \
+            result.breakdowns[other]["xlate"]
+
+
+def test_radix_has_visible_comm(result):
+    """A message per word makes radix sort's comm slice the largest."""
+    radix_comm = result.breakdowns["radix_sort"]["comm"]
+    assert radix_comm > result.breakdowns["nqueens"]["comm"]
+    assert radix_comm > result.breakdowns["lcs"]["comm"]

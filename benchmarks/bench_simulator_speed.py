@@ -1,0 +1,70 @@
+"""Host-performance benchmarks of the simulators themselves.
+
+Not a paper artifact: these measure how fast *this library* simulates,
+so regressions in simulator throughput (simulated instructions or events
+per host second) are caught like any other regression.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.processor import Mdp
+from repro.jsim.sim import MacroSimulator
+from repro.machine.config import MachineConfig
+from repro.machine.jmachine import JMachine
+
+LOOP = """
+start:
+    MOVE #1000, R1
+loop:
+    ADD R0, R1, R0
+    SUB R1, #1, R1
+    BT R1, loop
+    HALT
+"""
+
+
+def run_cycle_loop():
+    proc = Mdp(node_id=0)
+    program = assemble(LOOP)
+    program.load(proc)
+    proc.set_background(program.entry("start"))
+    now = 0
+    while not proc.halted:
+        now = proc.tick(now)
+    return proc.counters.instructions
+
+
+def run_macro_relay():
+    sim = MacroSimulator(16)
+
+    def relay(ctx, remaining):
+        ctx.charge(instructions=10)
+        if remaining:
+            ctx.send((ctx.node_id + 1) % 16, "relay", remaining - 1)
+
+    sim.register("relay", relay)
+    sim.inject(0, "relay", 2000)
+    sim.run()
+    return sim.messages_sent
+
+
+def run_machine_ping():
+    from repro.runtime.rpc import run_ping
+    machine = JMachine(MachineConfig(dims=(4, 4, 4)))
+    return run_ping(machine, 0, 63, iterations=25).iterations
+
+
+def test_cycle_simulator_throughput(benchmark):
+    instructions = benchmark(run_cycle_loop)
+    assert instructions == 3002
+
+
+def test_macro_simulator_throughput(benchmark):
+    messages = benchmark(run_macro_relay)
+    assert messages == 2001
+
+
+def test_whole_machine_throughput(benchmark):
+    iterations = benchmark.pedantic(run_machine_ping, rounds=3, iterations=1)
+    assert iterations == 25

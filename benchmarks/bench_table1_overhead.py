@@ -1,0 +1,35 @@
+"""Table 1: one-way message overhead vs contemporary machines."""
+
+import pytest
+
+from repro.bench import table1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table1.run()
+
+
+def test_table1_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    record_table(table1.format_result(outcome))
+
+
+def test_alpha_close_to_paper(result):
+    """Paper: 11 cycles/message."""
+    assert result.measured.cycles_per_msg == pytest.approx(11, abs=3)
+
+
+def test_beta_matches_paper(result):
+    """Paper: 0.5 cycles/byte."""
+    assert result.measured.cycles_per_byte == pytest.approx(0.5, abs=0.1)
+
+
+def test_orders_of_magnitude_vs_vendor_libraries(result):
+    """The headline claim: 1-2 orders of magnitude less overhead."""
+    measured = result.measured.cycles_per_msg
+    for row in result.rows:
+        if "Vendor" in row.machine:
+            assert row.cycles_per_msg / measured > 100
+    active_cm5 = next(r for r in result.rows if r.machine == "CM-5 (Active)")
+    assert active_cm5.cycles_per_msg / measured > 8

@@ -1,0 +1,16 @@
+"""Table 2: producer-consumer synchronization costs."""
+
+from repro.bench import table2
+
+
+def test_table2_regenerates(benchmark, record_table):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    record_table(table2.format_result(result))
+    assert result.matches_paper()
+
+
+def test_tags_win_every_event():
+    measured = table2.run().measured
+    assert measured.tags_success < measured.flag_success
+    assert measured.tags_failure < measured.flag_failure
+    assert measured.tags_write < measured.flag_write

@@ -1,0 +1,45 @@
+"""Table 3: barrier synchronization vs machine size."""
+
+import pytest
+
+from repro.bench import table3
+from repro.bench.reference import TABLE3_BARRIER_US
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table3.run(barriers=6)
+
+
+def test_table3_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(
+        table3.run, kwargs={"barriers": 4, "max_nodes": 16},
+        rounds=1, iterations=1,
+    )
+    record_table(table3.format_result(outcome))
+
+
+def test_logarithmic_growth(result):
+    """Doubling the machine adds one wave, not double the time."""
+    sizes = sorted(result.measured_us)
+    for small, large in zip(sizes, sizes[1:]):
+        ratio = result.measured_us[large] / result.measured_us[small]
+        assert 1.0 < ratio < 1.9
+
+
+def test_tracks_paper_j_machine_column(result):
+    """Within 2x of the published J-Machine numbers at every size."""
+    paper = TABLE3_BARRIER_US["J-Machine"]
+    for n, measured in result.measured_us.items():
+        assert measured / paper[n] < 2.0
+        assert measured / paper[n] > 0.5
+
+
+def test_orders_of_magnitude_vs_contemporaries(result):
+    """The paper's claim: 1-2 orders faster than iPSC/860 and Delta."""
+    for machine in ("IPSC/860", "Delta"):
+        column = TABLE3_BARRIER_US[machine]
+        for n, measured in result.measured_us.items():
+            published = column.get(n)
+            if published:
+                assert published / measured > 5

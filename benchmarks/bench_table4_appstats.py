@@ -1,0 +1,57 @@
+"""Table 4: application statistics for a 64-node machine."""
+
+import os
+
+import pytest
+
+from repro.bench import table4
+from repro.bench.harness import is_paper_scale
+from repro.bench.reference import PAPER_TABLE4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table4.run(n_nodes=64)
+
+
+def test_table4_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(
+        table4.run, kwargs={"n_nodes": 16}, rounds=1, iterations=1
+    )
+    record_table(table4.format_result(outcome))
+
+
+def test_message_lengths_match_paper(result):
+    lcs = result.results["lcs"].handler_stats["NxtChar"]
+    assert lcs.mean_message_words == 3
+    nq = result.results["nqueens"].handler_stats["NQueens"]
+    assert nq.mean_message_words == 8
+    writes = result.results["radix_sort"].handler_stats["WriteData"]
+    assert writes.mean_message_words == 3
+
+
+def test_write_threads_are_four_instructions(result):
+    writes = result.results["radix_sort"].handler_stats["WriteData"]
+    assert writes.instructions_per_thread == pytest.approx(4, abs=0.2)
+
+
+def test_paper_scale_thread_counts(result):
+    """At paper problem sizes the absolute Table 4 counts reproduce."""
+    if not is_paper_scale():
+        pytest.skip("set JM_SCALE=paper for absolute-count checks")
+    lcs = result.results["lcs"].handler_stats["NxtChar"]
+    assert lcs.invocations == 262_144
+    assert lcs.instructions_per_thread == pytest.approx(232, rel=0.05)
+    nq = result.results["nqueens"].handler_stats["NQueens"]
+    assert nq.invocations == pytest.approx(1030, rel=0.05)
+    writes = result.results["radix_sort"].handler_stats["WriteData"]
+    assert writes.invocations == pytest.approx(452_000, rel=0.01)
+
+
+def test_runtimes_in_paper_band(result):
+    """Run times land within 2x of Table 4 (exact at paper scale)."""
+    if not is_paper_scale():
+        pytest.skip("set JM_SCALE=paper for run-time checks")
+    for app, expected in (("lcs", 153), ("nqueens", 775), ("radix_sort", 63)):
+        measured = result.results[app].milliseconds
+        assert 0.5 < measured / expected < 2.0, app

@@ -1,0 +1,41 @@
+"""Table 5: major components of cost for TSP."""
+
+import pytest
+
+from repro.bench import table5
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table5.run(n_nodes=16)
+
+
+def test_table5_regenerates(benchmark, record_table):
+    outcome = benchmark.pedantic(
+        table5.run, kwargs={"n_nodes": 8}, rounds=1, iterations=1
+    )
+    record_table(table5.format_result(outcome))
+
+
+def test_os_threads_comparable_to_user_threads(result):
+    """CST: every call is a message, so OS traffic rivals user traffic."""
+    extra = result.result.extra
+    assert extra["os_threads"] > 0
+    assert extra["os_threads"] / extra["user_threads"] > 0.05
+
+
+def test_user_instructions_dominate(result):
+    extra = result.result.extra
+    assert extra["user_instructions"] > extra["os_instructions"]
+
+
+def test_xlates_enormous_faults_tiny(result):
+    """Paper: 5.1e8 xlates, 1.6e4 faults — a miss ratio near 3e-5."""
+    extra = result.result.extra
+    assert extra["xlates"] > 100 * max(1, extra["xlate_faults"])
+
+
+def test_user_thread_length_hundreds_of_instructions(result):
+    extra = result.result.extra
+    mean = extra["user_instructions"] / extra["user_threads"]
+    assert 100 < mean < 1200  # paper: 309

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures, asserts
+its headline qualitative claims, and (so results are inspectable after a
+run) appends the rendered table to ``benchmarks/results.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("")
+    yield
+
+
+@pytest.fixture
+def record_table():
+    """Append a rendered table to the session's results file."""
+
+    def write(text: str) -> None:
+        with RESULTS_PATH.open("a") as handle:
+            handle.write(text + "\n\n")
+
+    return write

@@ -1,0 +1,43 @@
+"""Sort 16K integers on machines of increasing size (radix sort demo).
+
+Runs the paper's fine-grained parallel radix sort — a WriteData message
+per key per digit — on the event-level simulator, and prints the speedup
+curve plus the communication statistics that explain its shape: the
+modest 1-to-2-node step (remote writes cost ~3x local ones) and the
+bandwidth ceiling at large machine sizes.
+
+Run with::
+
+    python examples/parallel_sort.py [n_keys]
+"""
+
+import sys
+
+from repro.apps.base import speedup
+from repro.apps.radix_sort import RadixParams, run_parallel, run_sequential
+
+
+def main(n_keys: int = 16384) -> None:
+    params = RadixParams(n_keys=n_keys)
+    sequential = run_sequential(params)
+    print(f"sorting {params.n_keys} keys, {params.n_digits} digits of "
+          f"{params.digit_bits} bits")
+    print(f"sequential baseline: {sequential.milliseconds:.1f} ms "
+          "(simulated, 12.5 MHz)\n")
+
+    print(f"{'nodes':>6} {'ms':>8} {'speedup':>8} {'remote writes':>14} "
+          f"{'idle %':>7}")
+    for n_nodes in (1, 2, 4, 8, 16, 32, 64):
+        if params.n_keys % n_nodes:
+            continue
+        result = run_parallel(n_nodes, params)
+        writes = result.handler_stats["WriteData"].invocations
+        print(f"{n_nodes:>6} {result.milliseconds:>8.1f} "
+              f"{speedup(sequential, result):>8.2f} {writes:>14,d} "
+              f"{100 * result.breakdown['idle']:>6.1f}")
+    print("\nevery remote write was a 3-word message handled in 16 cycles —")
+    print("the fine-grained style the MDP's mechanisms make affordable.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16384)

@@ -1,0 +1,48 @@
+"""Survey remote-read latency across the machine (Figure 2 in miniature).
+
+Measures the round-trip cost of reading one word from another node's
+internal and external memory, at increasing distances, on the
+cycle-accurate simulator — then fits the slope, which the paper (and
+this reproduction) put at 2 cycles per hop.
+
+Run with::
+
+    python examples/rpc_latency_survey.py [mesh_side]
+"""
+
+import sys
+
+from repro.machine import JMachine, MachineConfig
+from repro.network import Mesh3D
+from repro.runtime import run_ping, run_remote_read
+
+
+def main(side: int = 8) -> None:
+    mesh = Mesh3D.cube(side)
+    print(f"machine: {mesh}")
+    distances = sorted({0, 1, mesh.max_hops() // 2, mesh.max_hops()})
+
+    print(f"{'hops':>5} {'ping':>8} {'read1 imem':>11} {'read1 emem':>11}")
+    points = []
+    for distance in distances:
+        responder = mesh.nodes_at_distance(0, distance)[0]
+        ping = run_ping(_machine(side), 0, responder, 20).round_trip_cycles
+        imem = run_remote_read(_machine(side), 1, True, 0, responder,
+                               20).round_trip_cycles
+        emem = run_remote_read(_machine(side), 1, False, 0, responder,
+                               20).round_trip_cycles
+        points.append((distance, ping))
+        print(f"{distance:>5} {ping:>8.1f} {imem:>11.1f} {emem:>11.1f}")
+
+    if len(points) > 1:
+        (d0, l0), (d1, l1) = points[0], points[-1]
+        slope = (l1 - l0) / (d1 - d0)
+        print(f"\nround-trip slope: {slope:.2f} cycles/hop (paper: 2)")
+
+
+def _machine(side: int) -> JMachine:
+    return JMachine(MachineConfig(dims=(side, side, side)))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,67 @@
+"""Shared structure for macro-benchmark applications.
+
+Every application exposes the same surface so the benchmark harness can
+drive them uniformly:
+
+* ``run_parallel(n_nodes, params) -> AppResult`` — simulate the parallel
+  program on a macro-simulated machine and verify its output.
+* ``run_sequential(params) -> SequentialResult`` — the paper's speedup
+  base case: a good sequential implementation, costed with the same
+  per-operation constants but none of the parallel overheads.
+
+``AppResult`` carries everything Figures 5 and 6 and Tables 4 and 5
+need: run time in cycles, the per-node activity profiles, and per-handler
+thread statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.costs import CLOCK_HZ
+from ..jsim.sim import HandlerStats, MacroSimulator
+
+__all__ = ["AppResult", "SequentialResult", "speedup"]
+
+
+@dataclass
+class SequentialResult:
+    """Cost of the single-node baseline implementation."""
+
+    cycles: int
+    output: Any = None
+
+    @property
+    def milliseconds(self) -> float:
+        return self.cycles / CLOCK_HZ * 1e3
+
+
+@dataclass
+class AppResult:
+    """Outcome of one parallel application run."""
+
+    name: str
+    n_nodes: int
+    cycles: int
+    output: Any
+    handler_stats: Dict[str, HandlerStats]
+    breakdown: Dict[str, float]
+    sim: Optional[MacroSimulator] = field(default=None, repr=False)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def milliseconds(self) -> float:
+        """Run time at the prototype's 12.5 MHz clock."""
+        return self.cycles / CLOCK_HZ * 1e3
+
+    def total_threads(self) -> int:
+        return sum(s.invocations for s in self.handler_stats.values())
+
+    def total_instructions(self) -> int:
+        return sum(s.instructions for s in self.handler_stats.values())
+
+
+def speedup(sequential: SequentialResult, parallel: AppResult) -> float:
+    """Classic fixed-problem speedup: T_seq / T_par."""
+    return sequential.cycles / parallel.cycles if parallel.cycles else 0.0

@@ -1,0 +1,6 @@
+"""The MDP assembler and disassembler."""
+
+from .assembler import Program, assemble
+from .disassembler import disassemble, isa_reference
+
+__all__ = ["Program", "assemble", "disassemble", "isa_reference"]

@@ -1,0 +1,33 @@
+"""Assembler CLI: assemble/disassemble files, or emit the ISA reference.
+
+Usage::
+
+    python -m repro.asm program.s            # assemble, print listing
+    python -m repro.asm --isa-reference      # regenerate docs/ISA.md text
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .assembler import assemble
+from .disassembler import disassemble, isa_reference
+
+
+def main(argv) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if argv[0] == "--isa-reference":
+        print(isa_reference())
+        return 0
+    with open(argv[0]) as handle:
+        program = assemble(handle.read())
+    print(f"; assembled {len(program.instrs)} instructions, "
+          f"{len(program.data)} data words, base {program.base}")
+    print(disassemble(program))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

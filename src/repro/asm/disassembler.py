@@ -1,0 +1,135 @@
+"""Disassembler: decoded programs back to assembly text.
+
+Complements the assembler for debugging and for documentation: the text
+produced re-assembles to an equivalent program (round-trip property, see
+``tests/asm/test_disassembler.py``), with labels reconstructed from the
+program's symbol table and branch targets rendered symbolically where a
+label exists.
+
+Also provides :func:`isa_reference`, which renders the instruction set
+as a Markdown table straight from the opcode metadata — ``docs/ISA.md``
+is generated from it, so the documentation cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.isa import Imm, Instr, MemIdx, MemOff, OPCODES, Operand, Reg
+from ..core.tags import Tag
+from ..core.word import Word
+from .assembler import Program
+
+__all__ = ["disassemble", "format_instr", "format_operand", "isa_reference"]
+
+
+def format_operand(operand: Operand, labels: Dict[int, str],
+                   role: str) -> str:
+    """Render one operand in assembler syntax."""
+    if isinstance(operand, Reg):
+        return operand.name
+    if isinstance(operand, MemOff):
+        if operand.offset == 0:
+            return f"[{operand.areg.name}]"
+        sign = "+" if operand.offset >= 0 else "-"
+        return f"[{operand.areg.name}{sign}{abs(operand.offset)}]"
+    if isinstance(operand, MemIdx):
+        return f"[{operand.areg.name}+{operand.idxreg.name}]"
+    if isinstance(operand, Imm):
+        return _format_immediate(operand.word, labels, role)
+    raise TypeError(f"unknown operand type {type(operand).__name__}")
+
+
+def _format_immediate(word: Word, labels: Dict[int, str], role: str) -> str:
+    if role == "g":  # a tag immediate (WTAG/CHECK)
+        return f"%{Tag(word.value).name}"
+    if word.tag is Tag.IP:
+        label = labels.get(word.value)
+        return f"#IP:{label}" if label else f"#IP:{word.value}"
+    if role == "t":  # a branch target
+        label = labels.get(word.value)
+        return label if label else f"#{word.value}"
+    if word.tag is Tag.SYM and 32 <= word.value < 127:
+        return f"#'{chr(word.value)}'"
+    return f"#{word.value}"
+
+
+def format_instr(instr: Instr, labels: Dict[int, str]) -> str:
+    """Render one instruction (without its address or label)."""
+    spec = instr.spec
+    parts = [
+        format_operand(operand, labels, role)
+        for operand, role in zip(instr.operands, spec.roles)
+    ]
+    if not parts:
+        return instr.op
+    return f"{instr.op} {', '.join(parts)}"
+
+
+def _format_data(word: Word) -> str:
+    if word.tag is Tag.CFUT:
+        return "CFUT"
+    if word.tag is Tag.FUT:
+        return "FUT"
+    if word.tag is Tag.IP:
+        return f"IP:{word.value}"
+    if word.tag is Tag.SYM and 32 <= word.value < 127:
+        return f"'{chr(word.value)}'"
+    return str(word.value)
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program as re-assemblable source text."""
+    labels_by_addr = {addr: name for name, addr in program.labels.items()}
+    lines: List[str] = [f".org {program.base}"]
+    items = (
+        [(addr, "instr", instr) for addr, instr in program.instrs]
+        + [(addr, "data", word) for addr, word in program.data]
+    )
+    expected = program.base
+    for addr, kind, payload in sorted(items, key=lambda item: item[0]):
+        if addr != expected:
+            lines.append(f".org {addr}")
+        expected = addr + 1
+        label = labels_by_addr.get(addr)
+        prefix = f"{label}:" if label else ""
+        if kind == "instr":
+            body = format_instr(payload, labels_by_addr)
+            lines.append(f"{prefix}\n    {body}" if label else f"    {body}")
+        else:
+            word = _format_data(payload)
+            lines.append(f"{prefix} .word {word}" if label
+                         else f"    .word {word}")
+    return "\n".join(lines) + "\n"
+
+
+def isa_reference() -> str:
+    """The instruction set as a Markdown reference table."""
+    kind_titles = {
+        "move": "Data movement",
+        "alu": "Arithmetic, logic, and comparison",
+        "branch": "Control transfer",
+        "control": "Thread control",
+        "send": "Messaging (the SEND family)",
+        "name": "Naming (enter/xlate)",
+        "sync": "Synchronization",
+    }
+    by_kind: Dict[str, List] = {}
+    for spec in OPCODES.values():
+        by_kind.setdefault(spec.kind, []).append(spec)
+
+    lines = ["# MDP Instruction Set Reference", "",
+             "Generated from `repro.core.isa.OPCODES` by "
+             "`repro.asm.disassembler.isa_reference()`; regenerate with "
+             "`python -m repro.asm`.", ""]
+    role_names = {"s": "src", "d": "dst", "t": "target", "g": "tag"}
+    for kind in ("move", "alu", "branch", "control", "send", "name", "sync"):
+        lines.append(f"## {kind_titles[kind]}")
+        lines.append("")
+        lines.append("| opcode | operands | description |")
+        lines.append("|---|---|---|")
+        for spec in sorted(by_kind.get(kind, []), key=lambda s: s.name):
+            operands = ", ".join(role_names[r] for r in spec.roles) or "—"
+            lines.append(f"| `{spec.name}` | {operands} | {spec.doc} |")
+        lines.append("")
+    return "\n".join(lines)

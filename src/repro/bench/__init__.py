@@ -1,0 +1,30 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+One module per artifact::
+
+    fig2    round-trip latency vs distance
+    table1  one-way message overhead vs contemporaries
+    fig3    latency vs load / efficiency vs grain size
+    fig4    terminal bandwidth vs message size
+    table2  producer-consumer synchronization costs
+    table3  barrier synchronization vs machine size
+    fig5    application speedups
+    fig6    per-node time breakdowns
+    table4  application statistics (64 nodes)
+    table5  TSP cost components
+
+Each module exposes ``run()`` returning a structured result and
+``format_result()`` (or ``format_*``) rendering the paper-style table.
+``python -m repro.bench`` runs them all.  Scale is controlled by the
+``JM_SCALE`` environment variable (``small`` default, ``paper`` full).
+"""
+
+from . import (ablations, appscale, crossover, fig2, fig3, fig4, fig5, fig6,
+               harness, plots, reference, summary, table1, table2, table3,
+               table4, table5)
+
+__all__ = [
+    "ablations", "appscale", "crossover", "fig2", "fig3", "fig4", "fig5",
+    "fig6", "harness", "plots", "reference", "summary", "table1", "table2",
+    "table3", "table4", "table5",
+]

@@ -1,0 +1,96 @@
+"""Run every experiment and print every table/figure: the full evaluation.
+
+Usage::
+
+    python -m repro.bench            # small scale (seconds per artifact)
+    JM_SCALE=paper python -m repro.bench   # the paper's sizes
+
+Pass artifact names to run a subset, and/or ``--out FILE`` to also write
+the report to a file::
+
+    python -m repro.bench fig2 table2 --out results.md
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (ablations, crossover, fig2, fig3, fig4, fig5, fig6, harness,
+               summary, table1, table2, table3, table4, table5)
+
+
+def _run_all(selected, out_path=None) -> None:
+    artifacts = [
+        ("fig2", lambda: _with_chart(fig2)),
+        ("table1", lambda: table1.format_result(table1.run())),
+        ("fig3", lambda: _fig3()),
+        ("fig4", lambda: _with_chart(fig4)),
+        ("table2", lambda: table2.format_result(table2.run())),
+        ("table3", lambda: table3.format_result(table3.run())),
+        ("fig5", lambda: _with_chart(fig5)),
+        ("fig6", lambda: fig6.format_result(fig6.run())),
+        ("table4", lambda: table4.format_result(table4.run())),
+        ("table5", lambda: table5.format_result(table5.run())),
+        ("crossover", lambda: crossover.format_result(crossover.run())),
+        ("summary", lambda: summary.format_result(summary.run())),
+        ("ablations", _ablations),
+    ]
+    sink = open(out_path, "w") if out_path else None
+
+    def emit(text: str) -> None:
+        print(text)
+        if sink:
+            sink.write(text + "\n")
+
+    emit(f"J-Machine reproduction — scale: {harness.scale()}\n")
+    for name, runner in artifacts:
+        if selected and name not in selected:
+            continue
+        start = time.time()
+        output = runner()
+        elapsed = time.time() - start
+        emit(output)
+        emit(f"[{name}: {elapsed:.1f}s]\n")
+    if sink:
+        sink.close()
+
+
+def _fig3() -> str:
+    result = fig3.run()
+    return "\n\n".join([
+        fig3.format_latency_table(result),
+        fig3.format_chart(result),
+        fig3.format_efficiency_table(result),
+        fig3.format_efficiency_chart(result),
+    ])
+
+
+def _with_chart(module) -> str:
+    result = module.run()
+    return (module.format_result(result) + "\n\n"
+            + module.format_chart(result))
+
+
+def _ablations() -> str:
+    parts = [
+        ablations.format_dispatch(ablations.dispatch_cost_ablation()),
+        ablations.format_suspend(ablations.suspend_policy_ablation()),
+        ablations.format_emem(ablations.emem_bandwidth_ablation()),
+        ablations.format_flow_control(ablations.flow_control_ablation()),
+        ablations.format_node_tlb(ablations.node_tlb_ablation()),
+        ablations.format_queue_pressure(ablations.queue_pressure_ablation()),
+        ablations.format_arbitration(ablations.arbitration_fairness_ablation()),
+        ablations.format_tsp_priority(ablations.tsp_priority_ablation()),
+    ]
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    _args = sys.argv[1:]
+    _out = None
+    if "--out" in _args:
+        index = _args.index("--out")
+        _out = _args[index + 1]
+        del _args[index:index + 2]
+    _run_all(set(_args), out_path=_out)

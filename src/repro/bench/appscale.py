@@ -1,0 +1,41 @@
+"""Application problem sizes per benchmark scale.
+
+``paper`` scale uses exactly the paper's instances; ``small`` scale uses
+proportionally reduced ones that keep every qualitative trend (systolic
+skew, bisection saturation, task-size imbalance, pruning luck) while
+running in seconds.
+"""
+
+from __future__ import annotations
+
+from ..apps.lcs import LcsParams
+from ..apps.nqueens import NQueensParams
+from ..apps.radix_sort import RadixParams
+from ..apps.tsp import TspParams
+from .harness import is_paper_scale
+
+__all__ = ["lcs_params", "radix_params", "nqueens_params", "tsp_params"]
+
+
+def lcs_params() -> LcsParams:
+    if is_paper_scale():
+        return LcsParams()  # 1024 x 4096
+    return LcsParams(a_len=256, b_len=1024)
+
+
+def radix_params() -> RadixParams:
+    if is_paper_scale():
+        return RadixParams()  # 65,536 keys
+    return RadixParams(n_keys=16384)
+
+
+def nqueens_params() -> NQueensParams:
+    if is_paper_scale():
+        return NQueensParams(n=13)
+    return NQueensParams(n=11)
+
+
+def tsp_params() -> TspParams:
+    if is_paper_scale():
+        return TspParams(n_cities=14, task_depth=3)
+    return TspParams(n_cities=11, task_depth=2)

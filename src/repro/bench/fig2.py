@@ -1,0 +1,110 @@
+"""Figure 2: round-trip latency vs distance for remote reads and ping.
+
+Reproduces the five measurement series of Figure 2 on the cycle-accurate
+simulator: Ping, Read 1 (Imem), Read 1 (Emem), Read 6 (Imem), and
+Read 6 (Emem), at a set of distances up to the 21-hop corner-to-corner
+path of the 8x8x8 machine.  All series should show the paper's slope of
+2 cycles per hop (one cycle each way) with intercepts ordered by message
+length and memory cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..machine.config import MachineConfig
+from ..machine.jmachine import JMachine
+from ..network.topology import Mesh3D
+from ..runtime.rpc import run_ping, run_remote_read
+from .harness import format_table, is_paper_scale
+
+__all__ = ["Fig2Result", "run", "format_result", "SERIES"]
+
+SERIES = ("Ping", "Read 1 (Imem)", "Read 1 (Emem)",
+          "Read 6 (Imem)", "Read 6 (Emem)")
+
+
+@dataclass
+class Fig2Result:
+    """Latency series: distance (hops) -> round-trip cycles, per series."""
+
+    dims: Tuple[int, int, int]
+    series: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def slope(self, name: str) -> float:
+        """Least-squares slope of one series (paper: 2 cycles/hop)."""
+        points = sorted(self.series[name].items())
+        n = len(points)
+        mean_x = sum(p[0] for p in points) / n
+        mean_y = sum(p[1] for p in points) / n
+        num = sum((x - mean_x) * (y - mean_y) for x, y in points)
+        den = sum((x - mean_x) ** 2 for x, y in points)
+        return num / den if den else 0.0
+
+
+def _targets(mesh: Mesh3D, distances: List[int]) -> List[Tuple[int, int]]:
+    """(distance, responder) pairs measured from node 0."""
+    out = []
+    for distance in distances:
+        nodes = mesh.nodes_at_distance(0, distance)
+        if nodes:
+            out.append((distance, nodes[0]))
+    return out
+
+
+def run(iterations: int = 20) -> Fig2Result:
+    """Measure all five series; returns latencies in round-trip cycles."""
+    dims = (8, 8, 8) if is_paper_scale() else (4, 4, 4)
+    mesh = Mesh3D(*dims)
+    max_distance = mesh.max_hops()
+    step = 3 if is_paper_scale() else 2
+    distances = [0] + list(range(1, max_distance + 1, step))
+    if distances[-1] != max_distance:
+        distances.append(max_distance)
+    targets = _targets(mesh, distances)
+    result = Fig2Result(dims=dims)
+
+    experiments = [
+        ("Ping", lambda m, r: run_ping(m, 0, r, iterations)),
+        ("Read 1 (Imem)", lambda m, r: run_remote_read(m, 1, True, 0, r, iterations)),
+        ("Read 1 (Emem)", lambda m, r: run_remote_read(m, 1, False, 0, r, iterations)),
+        ("Read 6 (Imem)", lambda m, r: run_remote_read(m, 6, True, 0, r, iterations)),
+        ("Read 6 (Emem)", lambda m, r: run_remote_read(m, 6, False, 0, r, iterations)),
+    ]
+    for name, fn in experiments:
+        series: Dict[int, float] = {}
+        for distance, responder in targets:
+            machine = JMachine(MachineConfig(dims=dims))
+            series[distance] = fn(machine, responder).round_trip_cycles
+        result.series[name] = series
+    return result
+
+
+def format_result(result: Fig2Result) -> str:
+    distances = sorted(next(iter(result.series.values())).keys())
+    headers = ["hops"] + list(SERIES)
+    rows = []
+    for d in distances:
+        rows.append([d] + [result.series[s].get(d) for s in SERIES])
+    rows.append(["slope"] + [result.slope(s) for s in SERIES])
+    return format_table(
+        headers, rows,
+        title=f"Figure 2: round-trip latency (cycles) vs distance, "
+              f"{result.dims[0]}x{result.dims[1]}x{result.dims[2]} machine "
+              f"(paper: base 43, slope 2/hop)",
+    )
+
+
+def format_chart(result: Fig2Result) -> str:
+    """Figure 2 as an ASCII scatter: latency vs distance, five series."""
+    from .plots import ascii_chart
+
+    series = {name: sorted(result.series[name].items())
+              for name in SERIES}
+    return ascii_chart(
+        series,
+        title="Figure 2: round-trip latency (cycles) vs distance (hops)",
+        x_label="distance (hops)",
+        y_label="cycles",
+    )

@@ -1,0 +1,158 @@
+"""Figure 3: latency vs bisection traffic, and efficiency vs grain size.
+
+Left side: every node repeats {pick random destination, send an L-word
+message, await an L-word ack, idle I cycles}; sweeping I sweeps the
+offered load.  One-way latency is (round trip)/2 after subtracting the
+45-cycle loop, plotted against measured bisection traffic, for L = 2, 4,
+8, 16 words.  The paper's machine saturates near half of the 14.4 Gb/s
+bisection capacity, with latency rising in the standard contention shape.
+
+Right side: the same data re-expressed as processor efficiency versus
+grain size (computation cycles between messages); the half-power point
+falls between 100 and 300 cycles/message.
+
+This runs on the flit-level fabric (no MDP cores — the loop is a fixed
+state machine), so it is exact wormhole behaviour.  Small scale uses a
+6x6x6 machine (the smallest on which contention is clearly visible at
+this workload's offered load); ``JM_SCALE=paper`` runs the full 8x8x8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..network.topology import Mesh3D
+from ..network.traffic import RandomTrafficExperiment, RandomTrafficResult
+from .harness import format_table, is_paper_scale
+
+__all__ = ["Fig3Result", "run", "format_latency_table", "format_efficiency_table",
+           "MESSAGE_LENGTHS", "IDLE_SWEEP"]
+
+MESSAGE_LENGTHS = (2, 4, 8, 16)
+
+#: Idle-cycle sweep: dense near zero (high load) out to near-zero load.
+IDLE_SWEEP = (0, 25, 50, 100, 200, 400, 800, 1600, 4000)
+
+
+@dataclass
+class Fig3Result:
+    dims: Tuple[int, int, int]
+    capacity_bits_per_s: float
+    points: Dict[int, List[RandomTrafficResult]] = field(default_factory=dict)
+
+    def saturation_traffic(self, length: int) -> float:
+        """Highest measured bisection traffic for one message length."""
+        return max(p.bisection_traffic_bits_per_s for p in self.points[length])
+
+    def zero_load_latency(self, length: int) -> float:
+        """One-way latency at the lightest measured load."""
+        lightest = max(self.points[length], key=lambda p: p.idle_cycles)
+        return lightest.one_way_latency_cycles
+
+    def half_power_grain(self, length: int) -> float:
+        """Interpolated grain size where efficiency crosses 50%."""
+        pts = sorted(self.points[length], key=lambda p: p.grain_cycles)
+        for low, high in zip(pts, pts[1:]):
+            if low.efficiency <= 0.5 <= high.efficiency:
+                span = high.efficiency - low.efficiency
+                if span <= 0:
+                    return high.grain_cycles
+                t = (0.5 - low.efficiency) / span
+                return low.grain_cycles + t * (high.grain_cycles - low.grain_cycles)
+        return pts[0].grain_cycles if pts[0].efficiency > 0.5 else float("nan")
+
+
+def run(
+    warmup_cycles: int = 2000,
+    measure_cycles: int = 6000,
+    lengths: Tuple[int, ...] = MESSAGE_LENGTHS,
+    idles: Tuple[int, ...] = IDLE_SWEEP,
+) -> Fig3Result:
+    dims = (8, 8, 8) if is_paper_scale() else (6, 6, 6)
+    mesh = Mesh3D(*dims)
+    result = Fig3Result(
+        dims=dims, capacity_bits_per_s=mesh.bisection_capacity_bits_per_s()
+    )
+    for length in lengths:
+        series = []
+        for idle in idles:
+            experiment = RandomTrafficExperiment(
+                Mesh3D(*dims), message_words=length, idle_cycles=idle
+            )
+            series.append(experiment.run(warmup_cycles, measure_cycles))
+        result.points[length] = series
+    return result
+
+
+def format_latency_table(result: Fig3Result) -> str:
+    headers = ["len (words)", "idle", "traffic (Mb/s)", "util",
+               "one-way latency (cyc)"]
+    rows = []
+    for length, series in sorted(result.points.items()):
+        for p in sorted(series, key=lambda p: -p.idle_cycles):
+            rows.append([
+                length, p.idle_cycles,
+                p.bisection_traffic_bits_per_s / 1e6,
+                p.bisection_utilization,
+                p.one_way_latency_cycles,
+            ])
+    return format_table(
+        headers, rows,
+        title=f"Figure 3 (left): latency vs bisection traffic, "
+              f"capacity {result.capacity_bits_per_s / 1e9:.1f} Gb/s",
+    )
+
+
+def format_efficiency_table(result: Fig3Result) -> str:
+    headers = ["len (words)", "grain (cyc)", "efficiency"]
+    rows = []
+    for length, series in sorted(result.points.items()):
+        for p in sorted(series, key=lambda p: p.grain_cycles):
+            rows.append([length, p.grain_cycles, p.efficiency])
+    footer = [
+        ["half-power", f"L={length}",
+         round(result.half_power_grain(length))]
+        for length in sorted(result.points)
+    ]
+    return format_table(
+        headers, rows + footer,
+        title="Figure 3 (right): efficiency vs grain size "
+              "(paper half-power: 100-300 cycles/message)",
+    )
+
+
+def format_chart(result: Fig3Result) -> str:
+    """Figure 3 (left) as an ASCII scatter: latency vs traffic."""
+    from .plots import ascii_chart
+
+    series = {}
+    for length, points in sorted(result.points.items()):
+        series[f"{length}w"] = [
+            (p.bisection_traffic_bits_per_s / 1e6, p.one_way_latency_cycles)
+            for p in points
+        ]
+    return ascii_chart(
+        series,
+        title="Figure 3 (left): one-way latency vs bisection traffic",
+        x_label="bisection traffic (Mb/s)",
+        y_label="cycles",
+    )
+
+
+def format_efficiency_chart(result: Fig3Result) -> str:
+    """Figure 3 (right): efficiency vs grain size (log x)."""
+    from .plots import ascii_chart
+
+    series = {}
+    for length, points in sorted(result.points.items()):
+        series[f"{length}w"] = [
+            (p.grain_cycles, p.efficiency) for p in points
+        ]
+    return ascii_chart(
+        series,
+        title="Figure 3 (right): efficiency vs grain size (log x)",
+        logx=True,
+        x_label="grain (cycles, log scale)",
+        y_label="eff",
+    )

@@ -1,0 +1,56 @@
+"""Figure 6: per-node time breakdown on a 64-node machine.
+
+For each application, the fraction of machine time spent in computation,
+xlate, synchronization, communication overhead, NNR calculation, and
+idle.  The paper's qualitative findings: LCS and radix sort are
+computation-dominated with visible comm slices; N-Queens idles ~15% from
+static load imbalance; TSP idles only ~3.8% (dynamic balancing) but pays
+~16% synchronization (the periodic null-call yields) and a visible xlate
+slice (CST's global object names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..apps import lcs, nqueens, radix_sort, tsp
+from .appscale import lcs_params, nqueens_params, radix_params, tsp_params
+from .harness import format_table
+
+__all__ = ["Fig6Result", "run", "format_result", "BREAKDOWN_COLUMNS"]
+
+BREAKDOWN_COLUMNS = ("idle", "nnr", "comm", "sync", "xlate", "compute")
+
+
+@dataclass
+class Fig6Result:
+    n_nodes: int
+    breakdowns: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def run(n_nodes: int = 64) -> Fig6Result:
+    result = Fig6Result(n_nodes=n_nodes)
+    result.breakdowns["lcs"] = lcs.run_parallel(n_nodes, lcs_params()).breakdown
+    result.breakdowns["nqueens"] = nqueens.run_parallel(
+        n_nodes, nqueens_params()
+    ).breakdown
+    result.breakdowns["radix_sort"] = radix_sort.run_parallel(
+        n_nodes, radix_params()
+    ).breakdown
+    result.breakdowns["tsp"] = tsp.run_parallel(n_nodes, tsp_params()).breakdown
+    return result
+
+
+def format_result(result: Fig6Result) -> str:
+    headers = ["App"] + [f"{c} %" for c in BREAKDOWN_COLUMNS]
+    rows = []
+    for app in ("lcs", "nqueens", "radix_sort", "tsp"):
+        breakdown = result.breakdowns[app]
+        rows.append([app] + [100 * breakdown.get(c, 0.0)
+                             for c in BREAKDOWN_COLUMNS])
+    return format_table(
+        headers, rows,
+        title=f"Figure 6: function breakdown on {result.n_nodes} nodes "
+              "(paper: NQueens idle ~15%, TSP idle ~3.8%, TSP sync ~16%)",
+    )

@@ -1,0 +1,99 @@
+"""ASCII chart rendering for the regenerated figures.
+
+The paper's figures are line/scatter plots; the benchmark harness
+reproduces the underlying data as tables and, via this module, as
+terminal-renderable charts so the *shape* claims (slopes, knees,
+saturation, crossovers) can be eyeballed directly::
+
+    Figure 4: terminal bandwidth (Mb/s)
+    200 |                         a  a
+        |              a    a
+        |         a                b  b
+        |    a         b    b
+    ... |    b    b                c  c
+        |    c    c    c    c
+      0 +--------------------------------
+         1    2    4    8    12   16
+    a=discard b=imem c=emem
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "abcdefghij"
+
+Point = Tuple[float, float]
+
+
+def _scale(value: float, low: float, high: float, steps: int,
+           log: bool) -> int:
+    if log:
+        value, low, high = (math.log10(max(v, 1e-12))
+                            for v in (value, low, high))
+    if high <= low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return max(0, min(steps - 1, int(round(ratio * (steps - 1)))))
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Point]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named point series as a fixed-size ASCII scatter chart.
+
+    Each series gets a letter marker; overlapping points show the later
+    series' marker.  Axis ranges span the union of all points.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if not logy:
+        y_low = min(y_low, 0.0)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            column = _scale(x, x_low, x_high, width, logx)
+            row = height - 1 - _scale(y, y_low, y_high, height, logy)
+            grid[row][column] = marker
+
+    y_top = f"{y_high:g}"
+    y_bottom = f"{y_low:g}"
+    label_width = max(len(y_top), len(y_bottom), len(y_label))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_top
+        elif i == height - 1:
+            label = y_bottom
+        elif i == height // 2 and y_label:
+            label = y_label[:label_width]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    x_axis = f"{x_low:g}{' ' * max(1, width - len(f'{x_low:g}') - len(f'{x_high:g}'))}{x_high:g}"
+    lines.append(f"{'':>{label_width}}  {x_axis}")
+    if x_label:
+        lines.append(f"{'':>{label_width}}  {x_label}")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)

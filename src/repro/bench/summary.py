@@ -1,0 +1,161 @@
+"""Accuracy scorecard: measured values vs the paper's, programmatically.
+
+``python -m repro.bench summary`` runs the fast anchor measurements and
+prints one line per claim: the paper's value, ours, the ratio, and a
+verdict.  It is EXPERIMENTS.md's headline table, regenerated live —
+useful after any change to the cost model or the simulators to see at a
+glance what moved.
+
+Checks marked *paper-scale* need ``JM_SCALE=paper`` (they are skipped
+otherwise, since small-scale absolute values are not comparable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..machine.config import MachineConfig
+from ..machine.jmachine import JMachine
+from ..network.topology import Mesh3D
+from ..network.traffic import TerminalBandwidthExperiment
+from ..runtime.barrier import run_barrier_experiment
+from ..runtime.rpc import run_ping, run_remote_read
+from ..runtime.sync import measure_sync_costs
+from .harness import format_table, is_paper_scale
+
+__all__ = ["Check", "run", "format_result"]
+
+
+@dataclass
+class Check:
+    """One claim: name, paper value, measured value, tolerance."""
+
+    name: str
+    paper: float
+    measured: Optional[float]
+    rel_tol: float = 0.15
+    skipped: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.measured is None or not self.paper:
+            return None
+        return self.measured / self.paper
+
+    @property
+    def verdict(self) -> str:
+        if self.skipped:
+            return f"skipped ({self.skipped})"
+        ratio = self.ratio
+        if ratio is None:
+            return "n/a"
+        if abs(ratio - 1.0) <= self.rel_tol:
+            return "MATCH"
+        return f"off by {ratio:.2f}x"
+
+
+def _machine(dims=(8, 8, 8), **overrides) -> JMachine:
+    return JMachine(MachineConfig(dims=dims, **overrides))
+
+
+def run() -> List[Check]:
+    checks: List[Check] = []
+
+    # -- Figure 2 anchors --------------------------------------------------
+    ping = run_ping(_machine(), 0, 0, iterations=30).round_trip_cycles
+    checks.append(Check("Fig2 self-ping round trip (cycles)", 43, ping, 0.10))
+    near = run_ping(_machine(), 0, 1, iterations=30).round_trip_cycles
+    far = run_ping(_machine(), 0, 511, iterations=30).round_trip_cycles
+    checks.append(Check("Fig2 latency slope (cycles/hop RT)", 2,
+                        (far - near) / 20, 0.15))
+    corner = run_remote_read(_machine(), 1, True, 0, 511,
+                             iterations=30).round_trip_cycles
+    checks.append(Check("Fig2 corner remote read (cycles)", 98, corner, 0.10))
+    neighbour = run_remote_read(_machine(), 1, True, 0, 1,
+                                iterations=30).round_trip_cycles
+    checks.append(Check("Fig2 neighbour remote read (cycles)", 60,
+                        neighbour, 0.10))
+
+    # -- Table 1 --------------------------------------------------------------
+    from . import table1 as table1_module
+
+    table1_result = table1_module.run(count=150)
+    checks.append(Check("Table1 overhead (cycles/msg)", 11,
+                        table1_result.measured.cycles_per_msg, 0.30))
+    checks.append(Check("Table1 overhead (cycles/byte)", 0.5,
+                        table1_result.measured.cycles_per_byte, 0.10))
+
+    # -- Table 2 ---------------------------------------------------------------
+    sync = measure_sync_costs()
+    checks.append(Check("Table2 tags success/fail/write (sum)", 12,
+                        sync.tags_success + sync.tags_failure
+                        + sync.tags_write, 0.0))
+    checks.append(Check("Table2 flags success/fail/write (sum)", 18,
+                        sync.flag_success + sync.flag_failure
+                        + sync.flag_write, 0.0))
+
+    # -- Figure 4 ------------------------------------------------------------------
+    eight = TerminalBandwidthExperiment(8, "discard").run()
+    checks.append(Check("Fig4 8-word fraction of peak", 0.90,
+                        eight.words_per_cycle / 0.5, 0.05))
+    two = TerminalBandwidthExperiment(2, "discard").run()
+    checks.append(Check("Fig4 2-word fraction of peak (>0.5)", 0.60,
+                        two.words_per_cycle / 0.5, 0.25))
+
+    # -- Table 3 -----------------------------------------------------------------------
+    barrier = run_barrier_experiment(
+        _machine(dims=Mesh3D.for_nodes(64).dims,
+                 suspend_save_cycles=8, restart_cycles=8),
+        barriers=6,
+    )
+    checks.append(Check("Table3 64-node barrier (us)", 16.5,
+                        barrier.microseconds_per_barrier(), 0.60))
+
+    # -- Table 4 (paper scale only) ---------------------------------------------------------
+    if is_paper_scale():
+        from ..apps import lcs, nqueens, radix_sort
+
+        lcs_result = lcs.run_parallel(64)
+        checks.append(Check("Table4 LCS run time (ms)", 153,
+                            lcs_result.milliseconds, 0.25))
+        checks.append(Check(
+            "Table4 LCS instr/thread", 232,
+            lcs_result.handler_stats["NxtChar"].instructions_per_thread,
+            0.05,
+        ))
+        nq = nqueens.run_parallel(64)
+        checks.append(Check("Table4 NQueens tasks", 1030,
+                            nq.handler_stats["NQueens"].invocations, 0.05))
+        checks.append(Check("Table4 NQueens run time (ms)", 775,
+                            nq.milliseconds, 0.25))
+        radix = radix_sort.run_parallel(64)
+        checks.append(Check("Table4 Radix run time (ms)", 63,
+                            radix.milliseconds, 0.25))
+        checks.append(Check(
+            "Table4 Radix write threads", 452_000,
+            radix.handler_stats["WriteData"].invocations, 0.02,
+        ))
+    else:
+        for name, paper in (("Table4 LCS run time (ms)", 153),
+                            ("Table4 NQueens tasks", 1030),
+                            ("Table4 Radix write threads", 452_000)):
+            checks.append(Check(name, paper, None,
+                                skipped="needs JM_SCALE=paper"))
+
+    return checks
+
+
+def format_result(checks: List[Check]) -> str:
+    rows = []
+    for check in checks:
+        rows.append([check.name, check.paper,
+                     check.measured if check.measured is not None else None,
+                     check.verdict])
+    matches = sum(1 for c in checks if c.verdict == "MATCH")
+    measured = sum(1 for c in checks if not c.skipped)
+    return format_table(
+        ["claim", "paper", "measured", "verdict"], rows,
+        title=f"Accuracy scorecard: {matches}/{measured} anchors within "
+              "tolerance",
+    )

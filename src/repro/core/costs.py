@@ -1,0 +1,182 @@
+"""The MDP cycle-cost model.
+
+Every timing constant the paper publishes is collected here, in one place,
+so that the cycle simulator (``repro.core.processor``), the event-driven
+macro simulator (``repro.jsim``), and the benchmark harness all draw on the
+same numbers.  Citations point at the paper section that states each value.
+
+Key constants (Section 2.1 unless noted):
+
+* The processor clock is 12.5 MHz (Section 2.2), i.e. 80 ns/cycle.
+* Most instructions take 1 cycle with both operands in registers and
+  2 cycles with one operand in internal memory.
+* External memory has a 6-cycle access latency (Section 5, "External
+  memory latency (6 cycles)").
+* A series of send instructions injects up to 2 words/cycle.
+* Network channels carry 0.5 words/cycle; head latency is 1 cycle/hop.
+* Message dispatch takes 4 processor cycles.
+* A successful ``xlate`` takes 3 cycles.
+* The remote-read micro-benchmark adds 2 cycles/word for internal memory
+  and 8 cycles/word for external memory (Section 3.1).
+* The null-RPC base latency is 43 cycles: 24 cycles of network time plus
+  19 cycles of thread execution (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["CostModel", "DEFAULT_COSTS", "CLOCK_HZ", "CYCLE_NS", "WORD_BITS",
+           "DATA_BITS", "PHITS_PER_WORD"]
+
+#: Prototype clock rate: 12.5 MHz (Section 2.2).
+CLOCK_HZ = 12_500_000
+
+#: One processor cycle, in nanoseconds.
+CYCLE_NS = 1e9 / CLOCK_HZ  # 80 ns
+
+#: Full word width including tag.
+WORD_BITS = 36
+
+#: Data bits per word (what "bandwidth" counts — tags ride along free).
+DATA_BITS = 32
+
+#: A word crosses a channel as two physical transfer units (phits), which
+#: is what "channel bandwidth is 0.5 words/cycle" means.
+PHITS_PER_WORD = 2
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs of MDP operations.
+
+    The defaults encode the published machine; benchmarks construct
+    variants via :meth:`with_overrides` for ablation studies (e.g. a
+    software-dispatch machine, or slower external memory).
+    """
+
+    # --- instruction execution -------------------------------------------
+    #: Base cost of an instruction with register/immediate operands.
+    reg_op: int = 1
+    #: Extra cycles when one operand lives in internal (on-chip) memory.
+    imem_operand_extra: int = 1
+    #: Extra cycles when an operand lives in external DRAM.
+    emem_operand_extra: int = 5          # 6-cycle access = 1 base + 5 extra
+    #: Penalty for a taken branch (prefetch refill).
+    branch_taken_extra: int = 2
+    #: Cycles to fetch one instruction word (two instructions) from EMEM
+    #: when executing out of external memory.
+    emem_fetch_per_word: int = 6
+
+    # --- memory ------------------------------------------------------------
+    #: Internal SRAM read/write latency (cycles) for explicit accesses.
+    imem_access: int = 1
+    #: External DRAM access latency (cycles).
+    emem_access: int = 6
+    #: Cycles to relocate one arriving message word into internal memory
+    #: ("it takes at least 3 cycles to relocate the value into internal
+    #: memory and 6 into external memory", Section 4.3.2).
+    queue_copy_imem_per_word: int = 3
+    queue_copy_emem_per_word: int = 6
+
+    # --- messaging -----------------------------------------------------------
+    #: Words injected per cycle by back-to-back SEND2 instructions.
+    inject_words_per_cycle: int = 2
+    #: Cycles from message-at-queue-head to first handler instruction.
+    dispatch: int = 4
+    #: Cycles of thread execution in the null-RPC round trip (two threads
+    #: totalling 19 cycles; the request thread runs 10, the reply 9).
+    null_rpc_thread_cycles: int = 19
+    #: Per-word cost of computing a remote-read reply from internal memory.
+    remote_read_imem_per_word: int = 2
+    #: Per-word cost of computing a remote-read reply from external memory.
+    remote_read_emem_per_word: int = 8
+
+    # --- network ---------------------------------------------------------------
+    #: Head-flit latency per hop, cycles.
+    hop: int = 1
+    #: Cycles for one phit to cross a channel.
+    phit: int = 1
+    #: Phits per 36-bit word.
+    phits_per_word: int = PHITS_PER_WORD
+    #: Cycles consumed in the router at injection and at delivery (each).
+    interface: int = 1
+
+    # --- naming -----------------------------------------------------------------
+    #: Cycles for a successful xlate (hit in the associative match table).
+    xlate_hit: int = 3
+    #: Cycles for the xlate-miss fault path (vector + software probe).
+    xlate_miss: int = 40
+    #: Cycles for an enter instruction.
+    enter: int = 4
+
+    # --- synchronization (Table 2) ------------------------------------------------
+    #: Read of a present, tagged slot (Success row, Tags column).
+    sync_tag_success: int = 2
+    #: Detecting a cfut fault (Failure row, Tags column).
+    sync_tag_failure: int = 6
+    #: Write data to a tagged slot (Write row, Tags column).
+    sync_tag_write: int = 4
+    #: Read guarded by a software flag (Success row, No-Tags column).
+    sync_flag_success: int = 5
+    #: Failed software-flag test (Failure row, No-Tags column).
+    sync_flag_failure: int = 7
+    #: Write data + set flag (Write row, No-Tags column).
+    sync_flag_write: int = 6
+    #: Thread save cost range on suspension (Save/Restore column).
+    suspend_save_min: int = 30
+    suspend_save_max: int = 50
+    #: Thread restart cost range.
+    restart_min: int = 20
+    restart_max: int = 50
+
+    # --- faults -----------------------------------------------------------------------
+    #: Cycles to vector to a fault handler (flush + vector fetch).
+    fault_vector: int = 6
+    #: Software cost of the queue-overflow handler, per message spilled.
+    queue_overflow_per_msg: int = 100
+
+    #: Free-form extras for ablation benches.
+    extras: Dict[str, int] = field(default_factory=dict)
+
+    def with_overrides(self, **kwargs: int) -> "CostModel":
+        """Return a copy with the given fields replaced.
+
+        Unknown keys land in :attr:`extras` so ablation benches can carry
+        custom knobs without widening this class.
+        """
+        known = {k: v for k, v in kwargs.items() if k in self.__dataclass_fields__}
+        unknown = {k: v for k, v in kwargs.items() if k not in self.__dataclass_fields__}
+        model = replace(self, **known)
+        if unknown:
+            merged = dict(model.extras)
+            merged.update(unknown)
+            model = replace(model, extras=merged)
+        return model
+
+    # -- derived quantities -------------------------------------------------
+
+    def message_wire_cycles(self, length_words: int, hops: int) -> int:
+        """One-way network time for a worm of ``length_words`` over ``hops``.
+
+        The head takes 1 cycle/hop; the body streams behind it at 1 phit
+        per cycle, so the tail arrives ``phits_per_word * length`` cycles
+        after the head enters the network, plus interface cycles at each
+        end.
+        """
+        pipeline = self.hop * hops
+        streaming = self.phits_per_word * length_words
+        return pipeline + streaming + 2 * self.interface
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert cycles to microseconds at the prototype clock."""
+        return cycles * CYCLE_NS / 1e3
+
+    def us_to_cycles(self, us: float) -> float:
+        """Convert microseconds to cycles at the prototype clock."""
+        return us * 1e3 / CYCLE_NS
+
+
+#: The published machine.
+DEFAULT_COSTS = CostModel()

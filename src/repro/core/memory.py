@@ -1,0 +1,265 @@
+"""The MDP node memory system.
+
+Each J-Machine node couples the MDP's 4K-word on-chip SRAM with 1 MByte of
+external ECC DRAM (three 1M x 4 chips).  Both memories hold 36-bit tagged
+words.  The two memories form a single flat word-address space:
+
+* words ``[0, imem_words)``           — internal SRAM (1-cycle access)
+* words ``[imem_words, total_words)`` — external DRAM (6-cycle access)
+
+A fixed region at the bottom of the SRAM holds the hardware structures:
+fault vectors, the two message queues, and the send buffer.  The rest is
+available to code and data; the :class:`SegmentAllocator` hands out
+segment descriptors (``ADDR`` words) the way the MDP's memory-management
+unit expects objects to be referenced — every indexed access is bounds
+checked against its descriptor, which is what lets objects be relocated
+for heap compaction.
+
+Access-cost accounting is *pull* style: reads and writes return/record the
+cycle cost via the optional ``meter``; the processor adds those cycles to
+its clock.  This keeps the memory model usable standalone in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .costs import CostModel, DEFAULT_COSTS
+from .errors import MemoryError_, SegmentationFault
+from .word import NIL, Word
+
+__all__ = ["AccessMeter", "NodeMemory", "SegmentAllocator",
+           "IMEM_WORDS", "EMEM_WORDS", "TOTAL_WORDS"]
+
+#: 4K words of on-chip SRAM (Section 1).
+IMEM_WORDS = 4096
+
+#: 1 MByte of DRAM = 256K * 32-bit data words (Section 1).
+EMEM_WORDS = 256 * 1024
+
+#: Total flat address space per node, in words.
+TOTAL_WORDS = IMEM_WORDS + EMEM_WORDS
+
+
+class AccessMeter:
+    """Accumulates memory-access cycle charges and traffic counts."""
+
+    __slots__ = ("cycles", "imem_reads", "imem_writes", "emem_reads", "emem_writes")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.cycles = 0
+        self.imem_reads = 0
+        self.imem_writes = 0
+        self.emem_reads = 0
+        self.emem_writes = 0
+
+    def take_cycles(self) -> int:
+        """Return and clear the accumulated cycle charge."""
+        cycles = self.cycles
+        self.cycles = 0
+        return cycles
+
+
+class NodeMemory:
+    """Flat tagged-word memory of one node: SRAM low, DRAM high."""
+
+    def __init__(
+        self,
+        imem_words: int = IMEM_WORDS,
+        emem_words: int = EMEM_WORDS,
+        costs: CostModel = DEFAULT_COSTS,
+    ) -> None:
+        if imem_words <= 0 or emem_words < 0:
+            raise MemoryError_("memory sizes must be positive")
+        self.imem_words = imem_words
+        self.emem_words = emem_words
+        self.total_words = imem_words + emem_words
+        self.costs = costs
+        self.meter = AccessMeter()
+        # The SRAM is dense; the DRAM is allocated lazily (a 512-node
+        # machine would otherwise hold 512 x 256K word cells up front,
+        # and most nodes never touch most of their DRAM).  Word objects
+        # are immutable, so sharing NIL is safe.
+        self._imem_cells: List[Word] = [NIL] * imem_words
+        self._emem_cells: dict = {}
+
+    # -- classification ------------------------------------------------------
+
+    def is_internal(self, address: int) -> bool:
+        """True if ``address`` falls in the on-chip SRAM."""
+        return 0 <= address < self.imem_words
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.total_words:
+            raise SegmentationFault(f"address {address} outside node memory")
+
+    def access_cycles(self, address: int) -> int:
+        """Cycle cost of touching ``address`` once."""
+        if self.is_internal(address):
+            return self.costs.imem_access
+        return self.costs.emem_access
+
+    # -- raw access ---------------------------------------------------------
+
+    def read(self, address: int) -> Word:
+        """Read one word, charging the access cost to the meter.
+
+        Presence-tag faulting is *not* done here: the MDP faults when the
+        processor moves a ``cfut`` into a register, and the processor model
+        owns that check.  Raw reads let the runtime inspect tags.
+        """
+        self._check(address)
+        if address < self.imem_words:
+            self.meter.imem_reads += 1
+            self.meter.cycles += self.costs.imem_access
+            return self._imem_cells[address]
+        self.meter.emem_reads += 1
+        self.meter.cycles += self.costs.emem_access
+        return self._emem_cells.get(address, NIL)
+
+    def write(self, address: int, word: Word) -> None:
+        """Write one word, charging the access cost to the meter."""
+        self._check(address)
+        if not isinstance(word, Word):
+            raise MemoryError_(f"can only store Word, got {type(word).__name__}")
+        if address < self.imem_words:
+            self.meter.imem_writes += 1
+            self.meter.cycles += self.costs.imem_access
+            self._imem_cells[address] = word
+        else:
+            self.meter.emem_writes += 1
+            self.meter.cycles += self.costs.emem_access
+            self._emem_cells[address] = word
+
+    def peek(self, address: int) -> Word:
+        """Read without metering (debugger/test access)."""
+        self._check(address)
+        if address < self.imem_words:
+            return self._imem_cells[address]
+        return self._emem_cells.get(address, NIL)
+
+    def poke(self, address: int, word: Word) -> None:
+        """Write without metering (loader/debugger access)."""
+        self._check(address)
+        if address < self.imem_words:
+            self._imem_cells[address] = word
+        else:
+            self._emem_cells[address] = word
+
+    # -- block helpers ------------------------------------------------------
+
+    def load_block(self, base: int, words: List[Word]) -> None:
+        """Loader helper: poke a contiguous block (no cycle charges)."""
+        if base < 0 or base + len(words) > self.total_words:
+            raise MemoryError_(
+                f"block [{base}, {base + len(words)}) outside node memory"
+            )
+        for offset, word in enumerate(words):
+            self.poke(base + offset, word)
+
+    def dump_block(self, base: int, count: int) -> List[Word]:
+        """Debugger helper: peek a contiguous block (no cycle charges)."""
+        if base < 0 or base + count > self.total_words:
+            raise MemoryError_(f"block [{base}, {base + count}) outside node memory")
+        return [self.peek(base + offset) for offset in range(count)]
+
+    # -- segment (descriptor-checked) access ---------------------------------
+
+    def read_indexed(self, descriptor: Word, index: int) -> Word:
+        """Read ``descriptor[index]`` with bounds checking.
+
+        This is the MDP's indexed addressing mode: every object access goes
+        through a segment descriptor so that the length check is free in
+        hardware (and so objects can be relocated).
+        """
+        base, length = descriptor.as_segment()
+        if not 0 <= index < length:
+            raise SegmentationFault(
+                f"index {index} outside segment base={base} length={length}"
+            )
+        return self.read(base + index)
+
+    def write_indexed(self, descriptor: Word, index: int, word: Word) -> None:
+        """Write ``descriptor[index]`` with bounds checking."""
+        base, length = descriptor.as_segment()
+        if not 0 <= index < length:
+            raise SegmentationFault(
+                f"index {index} outside segment base={base} length={length}"
+            )
+        self.write(base + index, word)
+
+
+class SegmentAllocator:
+    """Bump allocator handing out segment descriptors.
+
+    Two independent bump pointers cover the internal and external regions;
+    ``alloc`` takes ``internal=True`` to request on-chip space.  The real
+    machine's runtime performs heap compaction (the paper notes objects
+    "may be relocated at will"); this allocator supports ``reset`` and
+    ``mark``/``release`` for arena-style reuse, which is all the
+    benchmarks need.
+    """
+
+    def __init__(self, memory: NodeMemory, imem_start: int, emem_start: Optional[int] = None) -> None:
+        if emem_start is None:
+            emem_start = memory.imem_words
+        if not 0 <= imem_start <= memory.imem_words:
+            raise MemoryError_(f"imem_start {imem_start} outside SRAM")
+        if not memory.imem_words <= emem_start <= memory.total_words:
+            raise MemoryError_(f"emem_start {emem_start} outside DRAM")
+        self.memory = memory
+        self._imem_next = imem_start
+        self._emem_next = emem_start
+        self._imem_start = imem_start
+        self._emem_start = emem_start
+
+    def alloc(self, length: int, internal: bool = False) -> Word:
+        """Allocate ``length`` words and return the segment descriptor."""
+        if length <= 0:
+            raise MemoryError_("segment length must be positive")
+        if internal:
+            base = self._imem_next
+            if base + length > self.memory.imem_words:
+                raise MemoryError_(
+                    f"internal memory exhausted ({length} words requested)"
+                )
+            self._imem_next = base + length
+        else:
+            base = self._emem_next
+            if base + length > self.memory.total_words:
+                raise MemoryError_(
+                    f"external memory exhausted ({length} words requested)"
+                )
+            self._emem_next = base + length
+        return Word.segment(base, length)
+
+    def mark(self) -> Tuple[int, int]:
+        """Snapshot the allocation frontier (for arena release)."""
+        return (self._imem_next, self._emem_next)
+
+    def release(self, mark: Tuple[int, int]) -> None:
+        """Roll the frontier back to a previous :meth:`mark`."""
+        imem, emem = mark
+        if not self._imem_start <= imem <= self._imem_next:
+            raise MemoryError_("bad imem release mark")
+        if not self._emem_start <= emem <= self._emem_next:
+            raise MemoryError_("bad emem release mark")
+        self._imem_next, self._emem_next = imem, emem
+
+    def reset(self) -> None:
+        """Release everything allocated since construction."""
+        self._imem_next = self._imem_start
+        self._emem_next = self._emem_start
+
+    @property
+    def imem_free(self) -> int:
+        """Words of on-chip memory still available."""
+        return self.memory.imem_words - self._imem_next
+
+    @property
+    def emem_free(self) -> int:
+        """Words of external memory still available."""
+        return self.memory.total_words - self._emem_next

@@ -1,0 +1,113 @@
+"""The MDP's hardware message queues.
+
+Arriving messages are buffered automatically in an on-chip queue — one per
+priority — and a task is dispatched when a message reaches the head
+(Section 2.1).  Capacity is limited: "This queue can contain no more than
+256 minimum-length messages (four words) and is configured for 128 of
+these messages in Tuned-J" (Section 4.3.3).  We therefore model each queue
+as a *word-capacity* ring: a message occupies ``max(len, MIN_MESSAGE_WORDS)``
+words, matching the hardware's row-granularity allocation.
+
+When a message would not fit, the queue raises
+:class:`~repro.core.errors.QueueOverflowFault`.  The processor model
+responds the way the real system software does: an expensive fault handler
+spills the message to a memory-backed overflow list (Section 4.3.3 calls
+this "relatively expensive ... intended to be used for transient traffic
+overruns").  While a queue is refusing words the router backs up, which is
+how backpressure propagates (and how send faults arise at remote nodes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .errors import ConfigurationError, QueueOverflowFault
+from .message import Message
+
+__all__ = ["MessageQueue", "MIN_MESSAGE_WORDS", "DEFAULT_QUEUE_WORDS"]
+
+#: Queue space is allocated in rows of four words (minimum message size).
+MIN_MESSAGE_WORDS = 4
+
+#: Tuned-J configures 128 minimum-length messages per queue.
+DEFAULT_QUEUE_WORDS = 128 * MIN_MESSAGE_WORDS
+
+
+class MessageQueue:
+    """A word-capacity-bounded FIFO of messages for one priority level."""
+
+    def __init__(self, capacity_words: int = DEFAULT_QUEUE_WORDS) -> None:
+        if capacity_words < MIN_MESSAGE_WORDS:
+            raise ConfigurationError(
+                f"queue capacity {capacity_words} below minimum message size"
+            )
+        self.capacity_words = capacity_words
+        self._messages: Deque[Message] = deque()
+        self._used_words = 0
+        # statistics
+        self.enqueued = 0
+        self.overflows = 0
+        self.high_water = 0
+
+    # -- space accounting ---------------------------------------------------
+
+    @staticmethod
+    def footprint(message: Message) -> int:
+        """Words of queue space a message occupies (row granularity)."""
+        rows = (message.length + MIN_MESSAGE_WORDS - 1) // MIN_MESSAGE_WORDS
+        return rows * MIN_MESSAGE_WORDS
+
+    @property
+    def used_words(self) -> int:
+        """Words of queue space currently occupied."""
+        return self._used_words
+
+    @property
+    def free_words(self) -> int:
+        """Words of queue space currently available."""
+        return self.capacity_words - self._used_words
+
+    def would_fit(self, message: Message) -> bool:
+        """True if ``message`` can be enqueued without overflow."""
+        return self.footprint(message) <= self.free_words
+
+    # -- queue operations -----------------------------------------------------
+
+    def enqueue(self, message: Message) -> None:
+        """Append a message; raises :class:`QueueOverflowFault` if full."""
+        need = self.footprint(message)
+        if need > self.free_words:
+            self.overflows += 1
+            raise QueueOverflowFault(
+                f"message of {message.length} words needs {need}, "
+                f"only {self.free_words} free"
+            )
+        self._messages.append(message)
+        self._used_words += need
+        self.enqueued += 1
+        if self._used_words > self.high_water:
+            self.high_water = self._used_words
+
+    def head(self) -> Optional[Message]:
+        """The message at the head, or None if empty (no dequeue)."""
+        return self._messages[0] if self._messages else None
+
+    def dequeue(self) -> Message:
+        """Remove and return the head message."""
+        if not self._messages:
+            raise QueueOverflowFault("dequeue from empty queue")
+        message = self._messages.popleft()
+        self._used_words -= self.footprint(message)
+        return message
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __bool__(self) -> bool:
+        return bool(self._messages)
+
+    def clear(self) -> None:
+        """Drop all buffered messages (machine reset)."""
+        self._messages.clear()
+        self._used_words = 0

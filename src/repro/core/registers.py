@@ -1,0 +1,101 @@
+"""The MDP register architecture: three register sets for fast interrupts.
+
+Section 2.1: "The register file includes four data registers and four
+address registers per priority" and "Fast interrupt processing is achieved
+through the use of three distinct register sets" — one for priority-0
+threads, one for priority-1 threads, and one for the background thread that
+runs when both message queues are empty.  Switching priority levels
+therefore costs nothing in save/restore: the processor simply starts using
+another set.
+
+Register names follow the MDP convention:
+
+* ``R0..R3`` — data registers
+* ``A0..A3`` — address (segment-descriptor) registers; by software
+  convention ``A3`` is pointed at the current message on dispatch so the
+  handler can read its arguments with ``[A3 + k]`` operands.
+* ``IP``    — instruction pointer (word address into code memory, with the
+  low bit selecting which of the word's two 17-bit instructions is next).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from .errors import IllegalInstructionFault
+from .word import NIL, Word
+
+__all__ = ["Priority", "RegisterSet", "RegisterFile",
+           "DATA_REG_NAMES", "ADDR_REG_NAMES", "REGISTER_NAMES"]
+
+
+class Priority(enum.IntEnum):
+    """Execution priority levels, highest first in dispatch preference."""
+
+    P1 = 1          #: priority-one (interrupt) threads
+    P0 = 0          #: priority-zero (normal) threads
+    BACKGROUND = 2  #: runs only when both queues are empty
+
+
+DATA_REG_NAMES = ("R0", "R1", "R2", "R3")
+ADDR_REG_NAMES = ("A0", "A1", "A2", "A3")
+REGISTER_NAMES = DATA_REG_NAMES + ADDR_REG_NAMES + ("IP",)
+
+
+class RegisterSet:
+    """One priority level's registers: R0-R3, A0-A3 and IP."""
+
+    __slots__ = ("regs", "ip")
+
+    def __init__(self) -> None:
+        self.regs: Dict[str, Word] = {name: NIL for name in DATA_REG_NAMES + ADDR_REG_NAMES}
+        self.ip = 0
+
+    def read(self, name: str) -> Word:
+        """Read a register by name (raises on unknown names)."""
+        try:
+            return self.regs[name]
+        except KeyError:
+            raise IllegalInstructionFault(f"unknown register {name!r}") from None
+
+    def write(self, name: str, word: Word) -> None:
+        """Write a register by name (raises on unknown names)."""
+        if name not in self.regs:
+            raise IllegalInstructionFault(f"unknown register {name!r}")
+        self.regs[name] = word
+
+    def snapshot(self) -> List[Word]:
+        """Capture register contents for thread suspension."""
+        return [self.regs[name] for name in DATA_REG_NAMES + ADDR_REG_NAMES]
+
+    def restore(self, snapshot: List[Word]) -> None:
+        """Restore registers captured by :meth:`snapshot`."""
+        names = DATA_REG_NAMES + ADDR_REG_NAMES
+        if len(snapshot) != len(names):
+            raise IllegalInstructionFault("register snapshot has wrong arity")
+        for name, word in zip(names, snapshot):
+            self.regs[name] = word
+
+    def clear(self) -> None:
+        """Reset all registers to NIL (used between dispatched threads)."""
+        for name in self.regs:
+            self.regs[name] = NIL
+        self.ip = 0
+
+
+class RegisterFile:
+    """The full file: one :class:`RegisterSet` per priority level."""
+
+    __slots__ = ("sets",)
+
+    def __init__(self) -> None:
+        self.sets: Dict[Priority, RegisterSet] = {p: RegisterSet() for p in Priority}
+
+    def __getitem__(self, priority: Priority) -> RegisterSet:
+        return self.sets[priority]
+
+    def reset(self) -> None:
+        """Clear every set (machine reset)."""
+        for regset in self.sets.values():
+            regset.clear()

@@ -1,0 +1,68 @@
+"""Data-type tags for the MDP's 36-bit tagged words.
+
+Every word in the MDP — in the register file, the on-chip SRAM, and the
+off-chip DRAM — carries a 4-bit tag alongside its 32 data bits.  The paper
+(Section 2.1) highlights two of the sixteen possible types, ``cfut`` and
+``fut``, which mark storage slots whose values have not yet been computed:
+
+* ``CFUT`` ("context future") behaves like a full/empty bit: *any* attempt
+  to touch the slot — read or copy — raises a fault so the runtime can
+  suspend the reading thread until the value arrives.
+* ``FUT`` (general future, after Baker & Hewitt) may be *copied* freely
+  without faulting; only an attempt to *use* the value (as an operand of an
+  arithmetic/logical operation, a branch condition, an address, …) faults.
+  This is what makes futures first-class: they can be returned from
+  functions and stored into arrays.
+
+The remaining tags cover the usual scalar types plus the architectural
+types the MDP needs: instruction pointers (messages begin with one),
+segment-descriptor addresses, and message descriptors.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Tag", "TRAP_ON_READ_TAGS", "TRAP_ON_USE_TAGS", "POINTER_TAGS"]
+
+
+class Tag(enum.IntEnum):
+    """The 4-bit type tag attached to every MDP word.
+
+    The encoding follows the MDP convention of placing the hardware-
+    interpreted types in the low codes.  User programs may use ``USER0``
+    through ``USER3`` for their own dynamically-checked types.
+    """
+
+    INT = 0x0        #: 32-bit signed integer
+    BOOL = 0x1       #: boolean (0 or 1)
+    SYM = 0x2        #: symbol / character / opaque enumeration
+    IP = 0x3         #: instruction pointer (message header word)
+    ADDR = 0x4       #: segment descriptor: packed (base, length)
+    MSG = 0x5        #: message descriptor: packed (node, handler hint)
+    CFUT = 0x6       #: context future — trap on ANY access
+    FUT = 0x7        #: future — copyable, trap on USE
+    INSTR = 0x8      #: encoded instruction pair (code memory)
+    FLOAT = 0x9      #: fixed-point/float payload (not used by the paper)
+    VNODE = 0xA      #: virtual node id, pre-NNR-translation
+    PHYS = 0xB       #: physical router address (x, y, z packed)
+    USER0 = 0xC
+    USER1 = 0xD
+    USER2 = 0xE
+    USER3 = 0xF
+
+    def is_future(self) -> bool:
+        """Return True for either of the presence-tag types."""
+        return self in (Tag.CFUT, Tag.FUT)
+
+
+#: Tags that fault when the word is merely *read* (moved/copied).
+TRAP_ON_READ_TAGS = frozenset({Tag.CFUT})
+
+#: Tags that fault when the word is *used* as an operand of an operation.
+#: ``CFUT`` faults at read time, before use is even attempted, but is
+#: included so operand checking is a single set lookup.
+TRAP_ON_USE_TAGS = frozenset({Tag.CFUT, Tag.FUT})
+
+#: Tags whose payload is interpreted as a memory reference of some kind.
+POINTER_TAGS = frozenset({Tag.ADDR, Tag.MSG, Tag.IP, Tag.VNODE, Tag.PHYS})

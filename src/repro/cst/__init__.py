@@ -1,0 +1,5 @@
+"""Concurrent-Smalltalk-style distributed objects over the macro simulator."""
+
+from .objects import CstObject, CstRuntime, Future, method
+
+__all__ = ["CstObject", "CstRuntime", "Future", "method"]

@@ -1,0 +1,21 @@
+"""Event-driven macro simulator: handler-level execution with cycle costs."""
+
+from .collectives import BroadcastTree, Reduction, binomial_children, binomial_parent
+from .netmodel import LatencyModel
+from .profile import CATEGORIES, Profile
+from .sim import Context, HandlerStats, MacroConfig, MacroSimulator, SimNode
+
+__all__ = [
+    "BroadcastTree",
+    "Reduction",
+    "binomial_children",
+    "binomial_parent",
+    "LatencyModel",
+    "CATEGORIES",
+    "Profile",
+    "Context",
+    "HandlerStats",
+    "MacroConfig",
+    "MacroSimulator",
+    "SimNode",
+]

@@ -1,0 +1,114 @@
+"""Analytic network model for the macro simulator.
+
+Full flit-level simulation (``repro.network.fabric``) is exact but costs
+Python time proportional to phits x hops; the applications move hundreds
+of thousands of messages, so the macro simulator uses a calibrated
+latency model instead:
+
+    latency = interface + hops(src, dst) + 2 * length + contention
+
+* ``interface`` and the per-hop / per-word terms are the same constants
+  the flit model uses (and that Figure 2 validates end to end).
+* ``contention`` grows with measured bisection utilization following the
+  standard open-network queueing shape ``u / (1 - u)`` that Agarwal's
+  model (the paper's reference [1]) predicts and that our own flit
+  simulator reproduces; utilization is metered over a sliding window of
+  recent sends that actually cross the machine's X midplane.
+
+When offered load exceeds the bisection capacity the model also
+*throttles*: the excess crossing words accumulate in a backlog and every
+crossing message queues behind it, so application-level throughput (e.g.
+radix sort's reorder phase) saturates just as it does on the machine.
+"""
+
+from __future__ import annotations
+
+from ..core.costs import CostModel, DEFAULT_COSTS
+from ..network.topology import Mesh3D
+
+__all__ = ["LatencyModel"]
+
+#: Sliding-window length for utilization metering, in cycles.
+_WINDOW_CYCLES = 1024
+
+#: Fraction of theoretical bisection bandwidth usable by wormhole routing
+#: under irregular traffic before latency diverges (the flit simulator
+#: and the paper both saturate near half of peak).
+_SATURATION_FRACTION = 0.55
+
+#: Contention delay multiplier (cycles of queueing per unit of u/(1-u)).
+_CONTENTION_SCALE = 8.0
+
+#: Upper bound on the contention term, to keep pathological bursts finite.
+_CONTENTION_CAP = 2000.0
+
+
+class LatencyModel:
+    """Distance + length + contention latency with saturation throttling."""
+
+    def __init__(
+        self,
+        mesh: Mesh3D,
+        costs: CostModel = DEFAULT_COSTS,
+        interface_cycles: int = 9,
+        window_cycles: int = _WINDOW_CYCLES,
+    ) -> None:
+        self.mesh = mesh
+        self.costs = costs
+        self.interface_cycles = interface_cycles
+        self.window = window_cycles
+        # Usable crossing capacity, in words per cycle (both directions:
+        # Y*Z channels each way at 0.5 words/cycle).
+        raw = mesh.bisection_channels() * 2 * 0.5
+        self.capacity_words_per_cycle = max(raw * _SATURATION_FRACTION, 0.25)
+        self._bucket_start = 0
+        self._bucket_words = 0.0
+        self._prev_rate = 0.0
+        #: Backlog of crossing words beyond capacity (saturation queue).
+        self._backlog_clear_time = 0.0
+        self.messages = 0
+        self.crossing_messages = 0
+
+    # -- utilization metering ------------------------------------------------
+
+    def _utilization(self, now: int) -> float:
+        if now - self._bucket_start >= self.window:
+            self._prev_rate = self._bucket_words / max(
+                1, now - self._bucket_start
+            )
+            self._bucket_start = now
+            self._bucket_words = 0.0
+        elapsed = max(1, now - self._bucket_start)
+        blended = (self._bucket_words + self._prev_rate * self.window) / (
+            elapsed + self.window
+        )
+        return min(blended / self.capacity_words_per_cycle, 0.999)
+
+    # -- the model ------------------------------------------------------------
+
+    def latency(self, src: int, dst: int, length_words: int, now: int) -> int:
+        """Cycles from launch at ``src`` to queued at ``dst``."""
+        self.messages += 1
+        hops = self.mesh.hops(src, dst)
+        base = (
+            self.interface_cycles
+            + self.costs.hop * hops
+            + self.costs.phits_per_word * length_words
+        )
+        crossing = self.mesh.crosses_x_midplane(src, dst)
+        if not crossing:
+            # Local traffic sees only mild contention.
+            u = self._utilization(now)
+            return base + int(min(_CONTENTION_CAP, _CONTENTION_SCALE * u * u))
+
+        self.crossing_messages += 1
+        u = self._utilization(now)
+        self._bucket_words += length_words
+        contention = min(_CONTENTION_CAP, _CONTENTION_SCALE * u / (1.0 - u))
+
+        # Saturation throttling: words beyond capacity queue up.
+        service = length_words / self.capacity_words_per_cycle
+        start = max(float(now), self._backlog_clear_time)
+        self._backlog_clear_time = start + service
+        queueing = start - now
+        return base + int(contention + queueing)

@@ -1,0 +1,376 @@
+"""The event-driven macro simulator: message handlers with cycle costs.
+
+This is the second simulation level described in DESIGN.md.  Applications
+are written as Python *message handlers* registered by name; the
+simulator provides exactly the J-Machine execution model:
+
+* messages carry a handler name and arguments; arrival creates a task;
+* each node runs one task at a time (priority 1 ahead of priority 0),
+  paying the 4-cycle hardware dispatch per task;
+* handlers charge cycles for the work they (conceptually) execute via
+  :meth:`Context.charge` / :meth:`Context.xlate` / :meth:`Context.nnr`,
+  and those charges advance the node's clock;
+* sends pay the sender-side overhead the micro-benchmarks measure
+  (format + inject), then the network model decides the arrival time.
+
+Because handlers do the *real* computation on real data (actual strings,
+keys, chess boards, tours), application results are verifiable, and
+effects like load imbalance, systolic skew, pruning-order luck, and
+bisection saturation emerge from the simulation rather than being
+scripted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.costs import CostModel, DEFAULT_COSTS
+from ..core.errors import ConfigurationError, SimulationError
+from ..network.topology import Mesh3D
+from .netmodel import LatencyModel
+from .profile import Profile
+
+__all__ = ["MacroSimulator", "Context", "SimNode", "HandlerStats", "MacroConfig"]
+
+Handler = Callable[..., None]
+
+
+@dataclass
+class MacroConfig:
+    """Tunables of the macro simulation level."""
+
+    #: Default cycles charged per abstract instruction.  The paper quotes
+    #: a typical rate of 5.5 MIPS at 12.5 MHz (~2.3 cycles/instruction)
+    #: with code and data on chip; tuned inner loops run faster.
+    cycles_per_instruction: float = 2.0
+    #: Sender-side fixed overhead per message (format + inject), cycles.
+    send_overhead_cycles: int = 4
+    #: Additional sender cycles per message word (SEND2 = 2 words/cycle).
+    send_per_word_cycles: float = 0.5
+    #: Hardware dispatch cost at the receiver, cycles.
+    dispatch_cycles: int = 4
+    #: Cycles for a successful xlate.
+    xlate_cycles: int = 3
+    #: Cycles for an xlate miss (fault + software reload).
+    xlate_fault_cycles: int = 40
+    #: Cycles to convert a node index to a router address in software.
+    nnr_cycles: int = 6
+
+
+@dataclass
+class HandlerStats:
+    """Per-handler invocation statistics (Table 4's raw material)."""
+
+    invocations: int = 0
+    instructions: int = 0
+    cycles: int = 0
+    message_words: int = 0
+
+    @property
+    def instructions_per_thread(self) -> float:
+        return self.instructions / self.invocations if self.invocations else 0.0
+
+    @property
+    def mean_message_words(self) -> float:
+        return self.message_words / self.invocations if self.invocations else 0.0
+
+
+class SimNode:
+    """One node of the macro-simulated machine."""
+
+    __slots__ = ("node_id", "busy_until", "running", "queues", "profile",
+                 "state", "queue_high_water", "messages_received")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.busy_until = 0
+        self.running = False
+        # index 0: priority 0 FIFO; index 1: priority 1 FIFO.
+        self.queues: Tuple[List, List] = ([], [])
+        self.profile = Profile()
+        #: Application-owned per-node storage (the node's "memory").
+        self.state: Dict[str, Any] = {}
+        self.queue_high_water = 0
+        self.messages_received = 0
+
+
+class Context:
+    """The handler's window onto its node and the machine.
+
+    A fresh context is passed to every handler invocation.  Cycle charges
+    accumulate on the context and are folded into the node's busy time
+    when the handler returns; sends are timestamped at the charge level
+    reached when they are issued, so a message sent after 1000 charged
+    cycles leaves 1000 cycles into the task.
+    """
+
+    __slots__ = ("sim", "node", "start_time", "charged", "_handler_name")
+
+    def __init__(self, sim: "MacroSimulator", node: SimNode, start_time: int,
+                 handler_name: str) -> None:
+        self.sim = sim
+        self.node = node
+        self.start_time = start_time
+        self.charged = 0
+        self._handler_name = handler_name
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def n_nodes(self) -> int:
+        return self.sim.n_nodes
+
+    @property
+    def now(self) -> int:
+        """Task-local current time (start + cycles charged so far)."""
+        return self.start_time + self.charged
+
+    @property
+    def state(self) -> Dict[str, Any]:
+        return self.node.state
+
+    # -- cost accounting ------------------------------------------------------
+
+    def charge(
+        self,
+        instructions: int = 0,
+        cycles: Optional[int] = None,
+        category: str = "compute",
+    ) -> None:
+        """Account for ``instructions`` of work (or explicit ``cycles``)."""
+        if cycles is None:
+            cycles = int(round(instructions * self.sim.config.cycles_per_instruction))
+        self.node.profile.charge(category, cycles)
+        self.node.profile.instructions += instructions
+        self.charged += cycles
+        stats = self.sim.handler_stats[self._handler_name]
+        stats.instructions += instructions
+        stats.cycles += cycles
+
+    def xlate(self, count: int = 1, fault: bool = False) -> None:
+        """Charge ``count`` name translations (Table 5's xlate columns)."""
+        config = self.sim.config
+        cycles = count * (config.xlate_fault_cycles if fault else config.xlate_cycles)
+        self.node.profile.charge("xlate", cycles)
+        self.node.profile.xlate_count += count
+        if fault:
+            self.node.profile.xlate_faults += count
+        self.charged += cycles
+        self.sim.handler_stats[self._handler_name].cycles += cycles
+
+    def nnr(self, count: int = 1) -> None:
+        """Charge node-index-to-router-address conversions (Figure 6)."""
+        cycles = count * self.sim.config.nnr_cycles
+        self.node.profile.charge("nnr", cycles)
+        self.charged += cycles
+        self.sim.handler_stats[self._handler_name].cycles += cycles
+
+    def sync(self, cycles: int) -> None:
+        """Charge synchronization overhead (suspends, null yields)."""
+        self.node.profile.charge("sync", cycles)
+        self.charged += cycles
+        self.sim.handler_stats[self._handler_name].cycles += cycles
+
+    # -- communication ----------------------------------------------------------
+
+    def send(
+        self,
+        dest: int,
+        handler: str,
+        *args: Any,
+        length: Optional[int] = None,
+        priority: int = 0,
+    ) -> None:
+        """Send a message; the sender pays injection overhead now."""
+        sim = self.sim
+        if length is None:
+            length = 1 + len(args)
+        config = sim.config
+        overhead = config.send_overhead_cycles + int(
+            round(config.send_per_word_cycles * length)
+        )
+        self.node.profile.charge("comm", overhead)
+        self.charged += overhead
+        sim.handler_stats[self._handler_name].cycles += overhead
+        sim.post(self.node_id, dest, handler, args, length, priority, self.now)
+
+    def call_local(self, handler: str, *args: Any, length: Optional[int] = None,
+                   priority: int = 0) -> None:
+        """A local asynchronous invocation (message to self)."""
+        self.send(self.node_id, handler, *args, length=length, priority=priority)
+
+
+class MacroSimulator:
+    """Event-driven machine: nodes, handlers, network model, clock."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        config: Optional[MacroConfig] = None,
+        costs: CostModel = DEFAULT_COSTS,
+        mesh: Optional[Mesh3D] = None,
+    ) -> None:
+        self.mesh = mesh if mesh is not None else Mesh3D.for_nodes(n_nodes)
+        if self.mesh.n_nodes != n_nodes:
+            raise ConfigurationError("mesh size does not match n_nodes")
+        self.n_nodes = n_nodes
+        self.config = config if config is not None else MacroConfig()
+        self.costs = costs
+        self.network = LatencyModel(self.mesh, costs)
+        self.nodes = [SimNode(i) for i in range(n_nodes)]
+        self.handlers: Dict[str, Handler] = {}
+        self.handler_stats: Dict[str, HandlerStats] = {}
+        self.now = 0
+        self.end_time = 0
+        self.messages_sent = 0
+        self._events: List[Tuple[int, int, int, str, tuple, int]] = []
+        self._seq = 0
+
+    # -- setup --------------------------------------------------------------
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Register a message handler under ``name``."""
+        if name in self.handlers:
+            raise ConfigurationError(f"handler {name!r} already registered")
+        self.handlers[name] = handler
+        self.handler_stats[name] = HandlerStats()
+
+    def handler(self, name: str) -> Callable[[Handler], Handler]:
+        """Decorator form of :meth:`register`."""
+
+        def wrap(fn: Handler) -> Handler:
+            self.register(name, fn)
+            return fn
+
+        return wrap
+
+    # -- messaging ------------------------------------------------------------
+
+    def post(
+        self,
+        source: int,
+        dest: int,
+        handler: str,
+        args: tuple,
+        length: int,
+        priority: int,
+        send_time: int,
+    ) -> None:
+        """Route a message: compute its arrival and schedule delivery."""
+        if handler not in self.handlers:
+            raise SimulationError(f"no handler named {handler!r}")
+        if not 0 <= dest < self.n_nodes:
+            raise SimulationError(f"destination {dest} out of range")
+        self.messages_sent += 1
+        latency = self.network.latency(source, dest, length, send_time)
+        # Never schedule into the past (a host inject with a stale `at`
+        # must not make simulated time run backwards).
+        arrival = max(send_time + latency, self.now)
+        heapq.heappush(
+            self._events,
+            (arrival, self._seq, self._ARRIVAL, dest,
+             (handler, args, length), priority),
+        )
+        self._seq += 1
+
+    def inject(self, dest: int, handler: str, *args: Any,
+               length: Optional[int] = None, priority: int = 0,
+               at: Optional[int] = None) -> None:
+        """Host-side kickoff message (no sender-side charges)."""
+        if length is None:
+            length = 1 + len(args)
+        self.post(dest, dest, handler, args, length, priority,
+                  self.now if at is None else at)
+
+    # -- the engine ----------------------------------------------------------------
+
+    _ARRIVAL = 0
+    _COMPLETE = 1
+
+    def _start_task(self, node: SimNode, start: int) -> None:
+        """Dispatch and run the highest-priority queued task on ``node``.
+
+        The handler executes immediately (it is a Python function) but
+        its *simulated* extent is [start, start + dispatch + charges];
+        the node is busy until then and a completion event continues the
+        queue.  Priority-1 tasks are taken first; a running task is not
+        preempted (priority-1 work waits for the task boundary, which is
+        exactly how the paper's TSP yields to bound updates).
+        """
+        queue = node.queues[1] if node.queues[1] else node.queues[0]
+        handler_name, args = queue.pop(0)
+        stats = self.handler_stats[handler_name]
+        stats.invocations += 1
+        node.profile.charge("comm", self.config.dispatch_cycles)
+        ctx = Context(self, node, start + self.config.dispatch_cycles,
+                      handler_name)
+        self.handlers[handler_name](ctx, *args)
+        end = ctx.now
+        node.busy_until = end
+        node.running = True
+        if end > self.end_time:
+            self.end_time = end
+        heapq.heappush(
+            self._events,
+            (end, self._seq, self._COMPLETE, node.node_id, None, 0),
+        )
+        self._seq += 1
+
+    def run(self, max_events: int = 200_000_000,
+            max_time: Optional[int] = None) -> int:
+        """Process events until quiescent; returns the finish time.
+
+        The finish time is when the last task completed, which is the
+        application's run time if the host injected the kickoff at 0.
+        """
+        events = self._events
+        processed = 0
+        while events:
+            time, _, kind, dest, payload, priority = heapq.heappop(events)
+            if max_time is not None and time > max_time:
+                break
+            self.now = time
+            node = self.nodes[dest]
+            if kind == self._COMPLETE:
+                node.running = False
+                if node.queues[0] or node.queues[1]:
+                    self._start_task(node, time)
+            else:
+                handler_name, args, length = payload
+                node.messages_received += 1
+                self.handler_stats[handler_name].message_words += length
+                node.queues[1 if priority else 0].append((handler_name, args))
+                depth = len(node.queues[0]) + len(node.queues[1])
+                if depth > node.queue_high_water:
+                    node.queue_high_water = depth
+                if not node.running and node.busy_until <= time:
+                    self._start_task(node, time)
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError("macro simulation exceeded max_events")
+        return self.end_time
+
+    # -- reporting ---------------------------------------------------------------
+
+    def aggregate_profile(self) -> Profile:
+        total = Profile()
+        for node in self.nodes:
+            total.merge(node.profile)
+        return total
+
+    def breakdown(self) -> Dict[str, float]:
+        """Machine-wide Figure 6 style breakdown over the whole run."""
+        wall = self.end_time * self.n_nodes
+        if wall == 0:
+            return {}
+        total = self.aggregate_profile()
+        out = {name: getattr(total, name) / wall
+               for name in ("compute", "xlate", "sync", "comm", "nnr")}
+        out["idle"] = max(0.0, 1.0 - total.busy / wall)
+        return out

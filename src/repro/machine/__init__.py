@@ -1,0 +1,7 @@
+"""Whole-machine simulation: nodes, configuration, and the global loop."""
+
+from .config import MachineConfig
+from .jmachine import JMachine
+from .node import Node, NodeNetworkInterface
+
+__all__ = ["MachineConfig", "JMachine", "Node", "NodeNetworkInterface"]

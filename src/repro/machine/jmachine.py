@@ -1,0 +1,207 @@
+"""The whole J-Machine: nodes, network, and the global simulation loop.
+
+The machine advances a single global cycle counter.  Every component is
+scheduled sparsely:
+
+* The fabric is stepped once per cycle, but only while worms are in
+  flight.
+* Each processor reports, after every tick, the cycle at which it next
+  has work; idle processors park and are woken by message delivery.
+* When both the network and all processors are quiet, the clock jumps
+  directly to the next scheduled event (or the run ends, "quiescent").
+
+This keeps big machines affordable: a 512-node machine with two active
+nodes costs barely more to simulate than a 2-node machine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..asm.assembler import Program
+from ..core.errors import ConfigurationError, QueueOverflowFault
+from ..core.message import Message
+from ..core.registers import Priority
+from ..core.word import Word
+from ..network.fabric import Fabric
+from ..network.topology import Mesh3D
+from .config import MachineConfig
+from .node import Node
+
+__all__ = ["JMachine"]
+
+
+class JMachine:
+    """A complete simulated J-Machine."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config if config is not None else MachineConfig()
+        self.mesh: Mesh3D = self.config.mesh()
+        self.fabric = Fabric(
+            self.mesh,
+            accept_fn=self._accept,
+            deliver_fn=self._deliver,
+            costs=self.config.costs,
+            inject_latency=self.config.inject_latency,
+            eject_latency=self.config.eject_latency,
+            arbitration=self.config.arbitration,
+            flow_control=self.config.flow_control,
+        )
+        self.fabric.on_injected = self._injection_finished
+        self.nodes: List[Node] = [
+            Node(i, self.config, submit=self.fabric.send)
+            for i in range(self.mesh.n_nodes)
+        ]
+        self.now = 0
+        self._proc_heap: List[Tuple[int, int]] = []  # (time, node_id)
+        self._delivery_heap: List[Tuple[int, int, int]] = []  # (time, seq, idx)
+        self._staged_messages: List[Optional[Message]] = []
+        self._staged_words_per_node: List[int] = [0] * self.mesh.n_nodes
+        self._seq = 0
+
+    @staticmethod
+    def build(n_nodes: int, **config_overrides) -> "JMachine":
+        """A machine of a standard size (1-1024 nodes)."""
+        return JMachine(MachineConfig.for_nodes(n_nodes, **config_overrides))
+
+    # ----------------------------------------------------------------- setup
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def load(self, program: Program, nodes: Optional[Iterable[int]] = None) -> None:
+        """Load a program image into some (default: all) nodes."""
+        targets = range(self.mesh.n_nodes) if nodes is None else nodes
+        for node_id in targets:
+            program.load(self.nodes[node_id].proc)
+
+    def start_background(self, node_id: int, entry: int) -> None:
+        """Start a background thread on a node and schedule it."""
+        self.nodes[node_id].proc.set_background(entry)
+        self._schedule_proc(node_id, self.now)
+
+    def inject(
+        self,
+        dest: int,
+        handler_ip: int,
+        args: Sequence[Word] = (),
+        priority: Priority = Priority.P0,
+        source: Optional[int] = None,
+    ) -> None:
+        """Host-side message injection (test and bootstrap convenience).
+
+        The message enters through the fabric from ``source`` (default:
+        the destination itself, i.e. a self-send through the local
+        router), so delivery timing remains realistic.
+        """
+        src = dest if source is None else source
+        message = Message.build(handler_ip, args, source=src, dest=dest,
+                                priority=priority)
+        self.fabric.send(message, self.now)
+
+    # ------------------------------------------------------------- callbacks
+
+    def _accept(self, node_id: int, message: Message) -> bool:
+        proc = self.nodes[node_id].proc
+        if proc.spill_enabled:
+            return True  # the software overflow handler absorbs extras
+        queue = proc.queues[message.priority]
+        staged = self._staged_words_per_node[node_id]
+        return queue.footprint(message) + staged <= queue.free_words
+
+    def _deliver(self, node_id: int, message: Message, arrival: int) -> None:
+        """Stage a delivered message until its arrival cycle is reached."""
+        index = len(self._staged_messages)
+        self._staged_messages.append(message)
+        self._staged_words_per_node[node_id] += message.length
+        heapq.heappush(self._delivery_heap, (arrival, index, node_id))
+
+    def _injection_finished(self, message: Message) -> None:
+        self.nodes[message.source].interface.injection_finished(message)
+
+    # -------------------------------------------------------------- schedule
+
+    def _schedule_proc(self, node_id: int, when: int) -> None:
+        node = self.nodes[node_id]
+        if node.next_tick is not None and node.next_tick <= when:
+            return
+        node.next_tick = when
+        heapq.heappush(self._proc_heap, (when, node_id))
+
+    def _commit_deliveries(self) -> None:
+        while self._delivery_heap and self._delivery_heap[0][0] <= self.now:
+            _, index, node_id = heapq.heappop(self._delivery_heap)
+            message = self._staged_messages[index]
+            self._staged_messages[index] = None
+            self._staged_words_per_node[node_id] -= message.length
+            try:
+                self.nodes[node_id].proc.deliver(message, self.now)
+            except QueueOverflowFault:
+                # The accept check reserved space, so this indicates a
+                # host-side inject overwhelmed the queue; surface it.
+                raise
+            self._schedule_proc(node_id, self.now)
+
+    def _tick_procs(self) -> None:
+        while self._proc_heap and self._proc_heap[0][0] <= self.now:
+            when, node_id = heapq.heappop(self._proc_heap)
+            node = self.nodes[node_id]
+            if node.next_tick != when:
+                continue  # stale entry
+            node.next_tick = None
+            nxt = node.proc.tick(self.now)
+            if nxt is not None:
+                self._schedule_proc(node_id, max(nxt, self.now + 1))
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        max_cycles: int = 1_000_000,
+        until: Optional[Callable[["JMachine"], bool]] = None,
+    ) -> int:
+        """Advance the machine until quiescence, ``until``, or the limit.
+
+        Returns the cycle counter at stop.  "Quiescent" means no worms in
+        flight, no staged deliveries, and every processor parked — the
+        machine would never do anything again without external input.
+        """
+        limit = self.now + max_cycles
+        while self.now < limit:
+            self._commit_deliveries()
+            if self.fabric.active:
+                self.fabric.step(self.now)
+            self._tick_procs()
+            if until is not None and until(self):
+                return self.now
+            if self.fabric.active:
+                self.now += 1
+                continue
+            next_times = []
+            if self._proc_heap:
+                next_times.append(self._proc_heap[0][0])
+            if self._delivery_heap:
+                next_times.append(self._delivery_heap[0][0])
+            if not next_times:
+                return self.now  # quiescent
+            self.now = max(self.now + 1, min(next_times))
+        return self.now
+
+    def run_until_quiescent(self, max_cycles: int = 10_000_000) -> int:
+        """Run to quiescence; raises if the limit is hit first."""
+        end = self.run(max_cycles=max_cycles)
+        if self.fabric.active or self._proc_heap or self._delivery_heap:
+            if any(n.proc.has_work() for n in self.nodes):
+                raise ConfigurationError(
+                    f"machine still busy after {max_cycles} cycles"
+                )
+        return end
+
+    # ------------------------------------------------------------------ stats
+
+    def total_busy_cycles(self) -> int:
+        return sum(node.proc.counters.busy_cycles for node in self.nodes)
+
+    def total_instructions(self) -> int:
+        return sum(node.proc.counters.instructions for node in self.nodes)

@@ -1,0 +1,131 @@
+"""One J-Machine node: an MDP plus its network interface.
+
+The network interface implements the SEND-instruction contract: words
+stream in at up to 2/cycle, the first word of every message names the
+destination node, and the end-marked word launches the message into the
+fabric.  Buffer space is finite (``send_buffer_words``); when the network
+is congested and worms cannot drain, the buffer stays full and further
+SEND instructions take send faults — the backpressure behaviour the paper
+observed during radix sort's reorder phase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.errors import SendFault, TypeFault
+from ..core.faults import RuntimeFaultPolicy
+from ..core.memory import NodeMemory
+from ..core.message import Message
+from ..core.processor import Mdp, NetworkInterface
+from ..core.registers import Priority
+from ..core.tags import Tag
+from ..core.tlb import NodeTlb
+from ..core.word import Word
+from .config import MachineConfig
+
+__all__ = ["Node", "NodeNetworkInterface"]
+
+
+class NodeNetworkInterface(NetworkInterface):
+    """Send-side coupling between a processor and the fabric."""
+
+    def __init__(
+        self,
+        node_id: int,
+        capacity_words: int,
+        submit: Callable[[Message, int], None],
+        node_tlb: Optional["NodeTlb"] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.capacity_words = capacity_words
+        self._submit = submit
+        self._building: dict = {Priority.P0: [], Priority.P1: []}
+        self._outstanding_words = 0
+        #: Optional automatic virtual-node-id translation (the paper's
+        #: proposed node TLB): VNODE-tagged destinations are translated
+        #: in the interface, for free on a hit.
+        self.node_tlb = node_tlb
+
+    # -- buffer accounting (freed when the fabric finishes injecting) -------
+
+    def _used_words(self) -> int:
+        partial = sum(len(words) for words in self._building.values())
+        return self._outstanding_words + partial
+
+    def can_accept(self, priority: Priority, nwords: int) -> bool:
+        return self._used_words() + nwords <= self.capacity_words
+
+    def injection_finished(self, message: Message) -> None:
+        """Fabric callback: the worm's tail has left this interface."""
+        self._outstanding_words -= message.length + 1  # +1 for the dest word
+
+    # -- the SEND contract ----------------------------------------------------
+
+    def send_word(self, priority: Priority, word: Word, end: bool, now: int) -> None:
+        if priority is Priority.BACKGROUND:
+            priority = Priority.P0  # background threads send normal messages
+        if not self.can_accept(priority, 1):
+            raise SendFault("send buffer full")
+        building: List[Word] = self._building[priority]
+        building.append(word)
+        if end:
+            self._launch(priority, now)
+
+    def _launch(self, priority: Priority, now: int) -> None:
+        words = self._building[priority]
+        self._building[priority] = []
+        if len(words) < 2:
+            raise TypeFault("a message needs a destination word and a header")
+        dest_word, body = words[0], words[1:]
+        dest = self._decode_dest(dest_word)
+        message = Message(body, source=self.node_id, dest=dest, priority=priority)
+        self._outstanding_words += len(words)
+        self._submit(message, now)
+
+    def _decode_dest(self, word: Word) -> int:
+        if word.tag is Tag.VNODE:
+            if self.node_tlb is not None:
+                return self.node_tlb.translate(word.value)
+            return word.value
+        if word.tag in (Tag.INT, Tag.SYM):
+            return word.value
+        raise TypeFault(
+            f"message destination must be a node id, found {word.tag.name}"
+        )
+
+
+class Node:
+    """An MDP, its DRAM, and its network interface, ready to schedule."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: MachineConfig,
+        submit: Callable[[Message, int], None],
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        node_tlb = (
+            NodeTlb(config.n_nodes) if config.auto_node_translation else None
+        )
+        self.interface = NodeNetworkInterface(
+            node_id, config.send_buffer_words, submit, node_tlb=node_tlb
+        )
+        self.proc = Mdp(
+            node_id=node_id,
+            memory=NodeMemory(costs=config.costs),
+            costs=config.costs,
+            fault_policy=RuntimeFaultPolicy(
+                save_cycles=config.suspend_save_cycles,
+                restart_cycles=config.restart_cycles,
+            ),
+            queue_words=config.queue_words,
+            network=self.interface,
+        )
+        self.proc.spill_enabled = config.queue_overflow_spills
+        #: Next scheduled tick time, or None when parked (machine-owned).
+        self.next_tick: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id})"

@@ -1,0 +1,33 @@
+"""The 3-D mesh wormhole network: topology, e-cube routing, flit fabric."""
+
+from .fabric import BUFFER_PHITS, Fabric, Worm
+from .routing import ChannelKey, EJECT, INJECT, ecube_route, route_hops
+from .stats import LatencySummary, NetworkStats, format_channel_heatmap
+from .topology import Mesh3D
+from .traffic import (
+    DEFAULT_LOOP_OVERHEAD,
+    RandomTrafficExperiment,
+    RandomTrafficResult,
+    TerminalBandwidthExperiment,
+    TerminalBandwidthResult,
+)
+
+__all__ = [
+    "BUFFER_PHITS",
+    "Fabric",
+    "Worm",
+    "ChannelKey",
+    "EJECT",
+    "INJECT",
+    "ecube_route",
+    "route_hops",
+    "LatencySummary",
+    "NetworkStats",
+    "format_channel_heatmap",
+    "Mesh3D",
+    "DEFAULT_LOOP_OVERHEAD",
+    "RandomTrafficExperiment",
+    "RandomTrafficResult",
+    "TerminalBandwidthExperiment",
+    "TerminalBandwidthResult",
+]

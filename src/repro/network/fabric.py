@@ -1,0 +1,411 @@
+"""Flit-level simulation of the J-Machine's wormhole-routed 3-D mesh.
+
+The model follows the published channel parameters: each channel moves one
+phit (half a 36-bit word) per cycle, so channel bandwidth is 0.5
+words/cycle; the head flit advances one hop per cycle when unblocked
+(Section 2.1).  Worms hold every virtual channel between their tail and
+head; when the head blocks, body flits pile into the small per-hop
+buffers and the worm stalls in place — which is how congestion propagates
+backpressure all the way to the sending processor (whose ``SEND``
+instructions then take send faults, Section 4.3.2).
+
+Modelling choices, and why they preserve the paper's behaviour:
+
+* **Virtual channel per priority.**  Priority-1 worms are arbitrated
+  before priority-0 worms everywhere, matching "priority one messages
+  receive preference during channel arbitration".
+* **Fixed-priority arbitration.**  Contenders for a channel are examined
+  in a fixed deterministic order: priority class first, then through
+  traffic ahead of locally-injecting worms — the MDP router's unfair
+  fixed input-port priority, under which "nodes may be unable to inject
+  a message into the network for an arbitrarily long period" (Section
+  4.3.2, the radix-sort starvation).  ``arbitration="round_robin"``
+  selects the fair alternative.
+* **Aggregate worm state.**  Rather than tracking every flit, each worm
+  keeps counts of injected/delivered phits and the span of held channels;
+  phits stream at one per cycle through that span, with ``BUFFER_PHITS``
+  of slack per held channel.  This reproduces cut-through latency
+  (head latency + 2 cycles/word of streaming), blocking, and progressive
+  tail release at a fraction of the bookkeeping cost.
+* **End-to-end interface latency.**  ``inject_latency`` and
+  ``eject_latency`` model the pipeline stages between processor and
+  network; their defaults are calibrated so a null self-ping's two
+  network traversals cost the paper's 24 cycles (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.costs import CostModel, DEFAULT_COSTS
+from ..core.errors import ConfigurationError
+from ..core.message import Message
+from ..core.registers import Priority
+from .routing import ChannelKey, INJECT, ecube_route, route_hops
+from .stats import NetworkStats
+from .topology import Mesh3D
+
+__all__ = ["Fabric", "Worm", "BUFFER_PHITS", "FRAMING_PHITS"]
+
+#: Phits of buffering per held channel (router latch + channel register).
+BUFFER_PHITS = 2
+
+#: Per-message wire overhead: the routing head phit and the tail marker.
+#: This is what keeps very short messages below peak channel bandwidth
+#: (Figure 4: 2-word messages reach just over half of peak; 8-word
+#: messages reach 90%).
+FRAMING_PHITS = 2
+
+#: Calibration: cycles a worm spends in the sending interface pipeline.
+DEFAULT_INJECT_LATENCY = 2
+
+#: Calibration: cycles from last phit at router to message queued.
+DEFAULT_EJECT_LATENCY = 5
+
+AcceptFn = Callable[[int, Message], bool]
+DeliverFn = Callable[[int, Message, int], None]
+
+
+class Worm:
+    """One message in flight: a worm of phits snaking through the mesh."""
+
+    __slots__ = (
+        "message", "path", "keys", "total_phits", "head", "released",
+        "injected", "delivered", "reserved", "submit_time", "launch_time",
+        "seq", "block_cycles", "crosses_bisection", "done",
+    )
+
+    def __init__(
+        self,
+        message: Message,
+        path: List[ChannelKey],
+        total_phits: int,
+        crosses_bisection: bool,
+        seq: int,
+    ) -> None:
+        self.message = message
+        self.path = path
+        pclass = int(message.priority)
+        self.keys: List[Tuple[int, int, int, int]] = [
+            (node, dim, direction, pclass) for (node, dim, direction) in path
+        ]
+        self.total_phits = total_phits
+        self.head = -1          # index of furthest acquired channel
+        self.released = 0       # channels [0, released) have been freed
+        self.injected = 0       # phits that have left the source interface
+        self.delivered = 0      # phits absorbed at the destination
+        self.reserved = False   # destination queue space reserved
+        self.submit_time = 0
+        self.launch_time: Optional[int] = None
+        self.seq = seq
+        self.block_cycles = 0
+        self.crosses_bisection = crosses_bisection
+        self.done = False
+
+    @property
+    def hops(self) -> int:
+        return route_hops(self.path)
+
+
+class Fabric:
+    """The whole network: channels, arbitration, and worm progression.
+
+    The fabric is cycle stepped: the owner (a machine or a synthetic
+    traffic harness) calls :meth:`step` once per simulated cycle while
+    :attr:`active` is truthy.  Message hand-off to nodes goes through two
+    callbacks so the fabric stays independent of what a "node" is:
+
+    * ``accept_fn(node, message) -> bool`` — may the destination take this
+      message now?  (Queue-full refusal is how backpressure starts.)
+    * ``deliver_fn(node, message, now)`` — the message has fully arrived.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh3D,
+        accept_fn: AcceptFn,
+        deliver_fn: DeliverFn,
+        costs: CostModel = DEFAULT_COSTS,
+        inject_latency: int = DEFAULT_INJECT_LATENCY,
+        eject_latency: int = DEFAULT_EJECT_LATENCY,
+        arbitration: str = "fixed",
+        flow_control: str = "block",
+    ) -> None:
+        if arbitration not in ("fixed", "round_robin"):
+            raise ConfigurationError(f"unknown arbitration {arbitration!r}")
+        if flow_control not in ("block", "return_to_sender"):
+            raise ConfigurationError(f"unknown flow control {flow_control!r}")
+        self.mesh = mesh
+        self.accept_fn = accept_fn
+        self.deliver_fn = deliver_fn
+        self.costs = costs
+        self.inject_latency = inject_latency
+        self.eject_latency = eject_latency
+        self.arbitration = arbitration
+        self.flow_control = flow_control
+        self._owner: Dict[Tuple[int, int, int, int], Worm] = {}
+        self._active: List[Worm] = []
+        self._pending: Dict[Tuple[int, int], Deque[Worm]] = {}
+        self._staged: List[Tuple[int, Worm]] = []  # (release_time, worm)
+        self._seq = 0
+        self.stats = NetworkStats(mesh)
+        #: Optional callback fired once per worm when its tail has fully
+        #: left the sending interface (frees the node's send buffer).
+        self.on_injected: Optional[Callable[[Message], None]] = None
+        #: When True, per-channel phit counts are accumulated in
+        #: :attr:`channel_phits` (keyed by (node, dim, dir)) — used by
+        #: the channel-load studies; off by default for speed.
+        self.track_channel_load = False
+        self.channel_phits: Dict[Tuple[int, int, int], int] = {}
+        #: Deadlock watchdog: if no worm moves a phit for this many
+        #: consecutive cycles while worms are active, :meth:`step`
+        #: raises with a diagnostic.  0 disables.
+        self.watchdog_cycles = 0
+        self._stagnant_cycles = 0
+
+    # ------------------------------------------------------------------ send
+
+    def send(self, message: Message, now: int) -> None:
+        """Submit a message; it will be injected when its turn comes.
+
+        Messages from one (node, priority) pair inject strictly in order:
+        a worm cannot enter the network until the previous worm's tail has
+        left the injection port.
+        """
+        worm = self._make_worm(message, now)
+        # Model the send-interface pipeline as a staging delay.
+        self._staged.append((now + self.inject_latency, worm))
+        self.stats.submitted += 1
+
+    def _make_worm(self, message: Message, now: int) -> Worm:
+        if not 0 <= message.dest < self.mesh.n_nodes:
+            raise ConfigurationError(f"destination {message.dest} outside mesh")
+        path = ecube_route(self.mesh, message.source, message.dest)
+        total_phits = self.costs.phits_per_word * message.length + FRAMING_PHITS
+        crosses = self.mesh.crosses_x_midplane(message.source, message.dest)
+        worm = Worm(message, path, total_phits, crosses, self._seq)
+        self._seq += 1
+        worm.submit_time = now
+        if message.inject_time is None:
+            message.inject_time = now
+        return worm
+
+    @property
+    def active(self) -> bool:
+        """True while any worm is staged, pending, or in the mesh."""
+        return bool(self._active or self._staged or any(self._pending.values()))
+
+    @property
+    def worms_in_flight(self) -> int:
+        return len(self._active)
+
+    # ------------------------------------------------------------------ step
+
+    def step(self, now: int) -> None:
+        """Advance every worm by one cycle of network time."""
+        if self._staged:
+            still_staged = []
+            for release_time, worm in self._staged:
+                if release_time <= now:
+                    queue_key = (worm.message.source, int(worm.message.priority))
+                    self._pending.setdefault(queue_key, deque()).append(worm)
+                else:
+                    still_staged.append((release_time, worm))
+            self._staged = still_staged
+
+        # Activate queue fronts whose injection port is free.
+        for queue_key, queue in self._pending.items():
+            if not queue:
+                continue
+            worm = queue[0]
+            port = worm.keys[0]
+            if self._owner.get(port) is None:
+                self._owner[port] = worm
+                worm.head = 0
+                worm.launch_time = now
+                queue.popleft()
+                self._active.append(worm)
+
+        if not self._active:
+            return
+
+        # Priority-1 worms are stepped (and hence arbitrate) first.
+        # Within a class, "fixed" arbitration models the MDP router's
+        # fixed input-port priority: worms already in the mesh (through
+        # traffic) beat worms still at their injection port, so under
+        # congestion a node "may be unable to inject a message ... for
+        # an arbitrarily long period" (Section 4.3.2).  "round_robin"
+        # rotates precedence across source nodes each cycle — the fair
+        # alternative.
+        if self.arbitration == "fixed":
+            self._active.sort(
+                key=lambda w: (-int(w.message.priority),
+                               0 if w.head > 0 else 1, w.seq)
+            )
+        else:
+            n = self.mesh.n_nodes
+            self._active.sort(
+                key=lambda w: (-int(w.message.priority),
+                               (w.message.source - now) % n, w.seq)
+            )
+        finished = False
+        moved_any = False
+        for worm in self._active:
+            before = worm.injected + worm.delivered + worm.head
+            if self._step_worm(worm, now):
+                finished = True
+                moved_any = True
+            elif worm.injected + worm.delivered + worm.head != before:
+                moved_any = True
+        if finished:
+            self._active = [w for w in self._active if not w.done]
+        if self.watchdog_cycles:
+            self._stagnant_cycles = 0 if moved_any else self._stagnant_cycles + 1
+            if self._stagnant_cycles >= self.watchdog_cycles:
+                self._raise_stagnation(now)
+
+    def _step_worm(self, worm: Worm, now: int) -> bool:
+        """Advance one worm one cycle; True if it completed delivery."""
+        last = len(worm.path) - 1
+        moved = False
+
+        # 1. Head acquisition: one hop per cycle when the next VC is free.
+        if worm.head < last:
+            key = worm.keys[worm.head + 1]
+            if self._owner.get(key) is None:
+                self._owner[key] = worm
+                worm.head += 1
+                moved = True
+            else:
+                worm.block_cycles += 1
+                self.stats.block_cycles += 1
+
+        # 2. Delivery: once the ejection port is held, stream phits out.
+        if worm.head == last:
+            if not worm.reserved:
+                message = worm.message
+                is_bounce = getattr(message, "bounce_of", None) is not None
+                if is_bounce or self.accept_fn(message.dest, message):
+                    worm.reserved = True
+                elif self.flow_control == "return_to_sender":
+                    # Refused: turn the worm around instead of blocking
+                    # the network (the critique's proposed protocol).
+                    self._bounce(worm, now)
+                    return True
+                else:
+                    self.stats.delivery_stall_cycles += 1
+            if worm.reserved and worm.delivered < min(worm.total_phits, worm.injected):
+                worm.delivered += 1
+                moved = True
+                if worm.delivered == worm.total_phits:
+                    self._complete(worm, now)
+                    return True
+
+        # 3. Injection: the source streams one phit per cycle while the
+        #    held span has buffer slack.
+        if worm.head >= 0 and worm.injected < worm.total_phits:
+            span = worm.head - worm.released + 1
+            if worm.injected - worm.delivered < BUFFER_PHITS * span:
+                worm.injected += 1
+                moved = True
+                if (worm.injected == worm.total_phits and self.on_injected
+                        and worm.message.bounce_of is None
+                        and not worm.message.injection_reported):
+                    worm.message.injection_reported = True
+                    self.on_injected(worm.message)
+
+        # 4. Tail release: after full injection the tail advances with the
+        #    pipe, freeing channels behind the in-flight span.
+        if worm.injected == worm.total_phits and moved:
+            in_flight = worm.injected - worm.delivered
+            span_needed = max(1, -(-in_flight // BUFFER_PHITS))
+            target = worm.head - span_needed + 1
+            while worm.released < target:
+                self._release(worm, worm.released)
+                worm.released += 1
+        return False
+
+    def _release(self, worm: Worm, index: int) -> None:
+        key = worm.keys[index]
+        if self._owner.get(key) is worm:
+            del self._owner[key]
+
+    def _complete(self, worm: Worm, now: int) -> None:
+        """Tail arrived: free remaining channels, hand the message over."""
+        for index in range(worm.released, len(worm.keys)):
+            self._release(worm, index)
+        worm.released = len(worm.keys)
+        worm.done = True
+        arrival = now + self.eject_latency
+        original = getattr(worm.message, "bounce_of", None)
+        if original is not None:
+            # A returned message reached its sender: retry the original
+            # after the interface re-processes it.
+            retry_worm = self._make_worm(original, now)
+            self._staged.append((arrival + self.inject_latency, retry_worm))
+            return
+        worm.message.arrive_time = arrival
+        if self.track_channel_load:
+            # Every phit crossed every channel of the path exactly once.
+            for channel in worm.path:
+                if channel[1] < INJECT:  # mesh channels only
+                    self.channel_phits[channel] = (
+                        self.channel_phits.get(channel, 0) + worm.total_phits
+                    )
+        self.deliver_fn(worm.message.dest, worm.message, arrival)
+        self.stats.record_completion(worm, arrival)
+
+    def _bounce(self, worm: Worm, now: int) -> None:
+        """Return-to-sender: free the path and send the message back."""
+        for index in range(worm.released, len(worm.keys)):
+            self._release(worm, index)
+        worm.released = len(worm.keys)
+        worm.done = True
+        self.stats.bounces += 1
+        original = worm.message
+        returned = Message(
+            original.words,
+            source=original.dest,
+            dest=original.source,
+            priority=original.priority,
+        )
+        returned.bounce_of = original
+        returned.inject_time = now
+        bounce_worm = self._make_worm(returned, now)
+        self._staged.append((now + 1, bounce_worm))
+
+    def _raise_stagnation(self, now: int) -> None:
+        """Watchdog trip: describe every stuck worm and fail loudly."""
+        details = []
+        for worm in self._active[:8]:
+            blocker = None
+            if worm.head + 1 < len(worm.keys):
+                owner = self._owner.get(worm.keys[worm.head + 1])
+                blocker = owner.message if owner else None
+            details.append(
+                f"{worm.message!r} head={worm.head}/{len(worm.path) - 1} "
+                f"blocked_by={blocker!r}"
+            )
+        raise ConfigurationError(
+            f"network made no progress for {self.watchdog_cycles} cycles "
+            f"at t={now}; {len(self._active)} worms stuck:\n  "
+            + "\n  ".join(details)
+        )
+
+    # ---------------------------------------------------------------- helpers
+
+    def drain(self, now: int, max_cycles: int = 1_000_000) -> int:
+        """Step until the network is empty; returns the finishing cycle.
+
+        Only valid when message delivery does not trigger new sends (the
+        synthetic micro-benchmarks); machines drive :meth:`step` directly.
+        """
+        cycle = now
+        end = now + max_cycles
+        while self.active and cycle < end:
+            self.step(cycle)
+            cycle += 1
+        if self.active:
+            raise ConfigurationError(f"network failed to drain in {max_cycles} cycles")
+        return cycle

@@ -1,0 +1,145 @@
+"""Network measurement: latency and bisection-traffic statistics.
+
+The paper's Figure 3 plots one-way message latency against *bisection
+traffic* — the rate at which data crosses the machine's X midplane.  Its
+capacity convention counts the midplane channels in a single direction
+(64 channels for 8x8x8, giving the quoted 14.4 Gbits/sec peak), so for
+symmetric traffic we count all midplane crossings and halve them, which
+this module documents once so every benchmark reports the same quantity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..core.costs import CLOCK_HZ, WORD_BITS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fabric import Worm
+    from .topology import Mesh3D
+
+__all__ = ["NetworkStats", "LatencySummary"]
+
+
+class LatencySummary:
+    """Streaming mean/min/max over recorded latencies."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class NetworkStats:
+    """Counters the fabric maintains, with a resettable window.
+
+    ``window_*`` fields accumulate since the last :meth:`open_window`
+    call, so benchmarks can warm the network up and then measure a clean
+    steady-state interval.
+    """
+
+    def __init__(self, mesh: "Mesh3D") -> None:
+        self.mesh = mesh
+        self.submitted = 0
+        self.completed = 0
+        self.block_cycles = 0
+        self.delivery_stall_cycles = 0
+        self.bounces = 0
+        self.latency = LatencySummary()
+        # measurement window
+        self._window_start_cycle = 0
+        self.window_completed = 0
+        self.window_bisection_words = 0
+        self.window_message_words = 0
+        self.window_latency = LatencySummary()
+
+    def record_completion(self, worm: "Worm", now: int) -> None:
+        self.completed += 1
+        message = worm.message
+        if message.inject_time is not None:
+            latency = now - message.inject_time
+            self.latency.record(latency)
+            self.window_latency.record(latency)
+        self.window_completed += 1
+        self.window_message_words += message.length
+        if worm.crosses_bisection:
+            self.window_bisection_words += message.length
+
+    # -- measurement windows --------------------------------------------------
+
+    def open_window(self, now: int) -> None:
+        """Start a fresh measurement interval at cycle ``now``."""
+        self._window_start_cycle = now
+        self.window_completed = 0
+        self.window_bisection_words = 0
+        self.window_message_words = 0
+        self.window_latency = LatencySummary()
+
+    def window_cycles(self, now: int) -> int:
+        return max(1, now - self._window_start_cycle)
+
+    def bisection_traffic_bits_per_s(self, now: int, clock_hz: int = CLOCK_HZ) -> float:
+        """Measured bisection traffic, paper convention (one direction).
+
+        Crossings are counted in both directions and halved, matching the
+        capacity convention of
+        :meth:`~repro.network.topology.Mesh3D.bisection_capacity_bits_per_s`.
+        """
+        words_per_cycle = self.window_bisection_words / 2 / self.window_cycles(now)
+        return words_per_cycle * WORD_BITS * clock_hz
+
+    def message_rate_per_cycle(self, now: int) -> float:
+        """Completed messages per cycle in the current window."""
+        return self.window_completed / self.window_cycles(now)
+
+
+def format_channel_heatmap(fabric, dim: int = 0, z: int = 0,
+                           direction: int = 1) -> str:
+    """Render one Z-plane's channel loads as an ASCII heat map.
+
+    Requires the fabric to have been run with ``track_channel_load``
+    enabled.  Each cell shows the relative load of the node's output
+    channel in dimension ``dim`` toward ``direction``, scaled 0-9
+    against the busiest such channel ('.' = unused).  For uniform random
+    traffic under e-cube routing the X midplane columns glow — the
+    bisection-concentration effect Figure 3's saturation comes from.
+    """
+    mesh = fabric.mesh
+    x_dim, y_dim, z_dim = mesh.dims
+    if not 0 <= z < z_dim:
+        raise ValueError(f"z={z} outside mesh")
+    loads = {}
+    peak = 0
+    for (node, channel_dim, channel_dir), phits in \
+            fabric.channel_phits.items():
+        if channel_dim == dim and channel_dir == direction:
+            loads[node] = phits
+            peak = max(peak, phits)
+    lines = [f"channel load: dim={'XYZ'[dim]} dir={direction:+d} "
+             f"z-plane {z} (peak {peak} phits)"]
+    for y in range(y_dim - 1, -1, -1):
+        row = []
+        for x in range(x_dim):
+            node = mesh.node_id((x, y, z))
+            phits = loads.get(node)
+            if not phits:
+                row.append(".")
+            else:
+                row.append(str(min(9, int(round(9 * phits / peak)))))
+        lines.append(" ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,250 @@
+"""Remote-procedure-call micro-benchmark programs (Figure 2).
+
+These are the paper's latency probes, written in MDP assembly:
+
+* **Ping** — node A sends a two-word request; node B replies with a
+  single-word acknowledgment ("sending a two-word request message to the
+  remote node and waiting for and receiving a single word
+  acknowledgment").
+* **Remote read** — A sends a three-word request (handler, reply-to,
+  index); B reads 1 or 6 words from internal or external memory and
+  replies with a 2- or 7-word message.
+
+Each experiment ping-pongs ``iterations`` times so per-trip cost can be
+averaged, exactly like the hardware measurement.  Node-local state lives
+in a small globals segment addressed through ``A0`` (the runtime's
+global-segment convention); the remote node's readable array is addressed
+through ``A1`` and can be placed in internal or external memory to get
+the Imem/Emem variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..asm.assembler import Program, assemble
+from ..core.errors import ConfigurationError
+from ..core.registers import Priority
+from ..core.word import Word
+from ..machine.jmachine import JMachine
+
+__all__ = ["PingResult", "run_ping", "run_remote_read", "RPC_SOURCE"]
+
+#: Globals segment layout (offsets into the A0 segment).
+_G_COUNT = 0      # iterations remaining
+_G_PEER = 1       # the remote node id
+_G_SELF = 2       # our own node id
+_G_DONE = 3       # completion flag
+_G_INDEX = 4      # index to read remotely
+_G_DATA = 5       # landing area for read replies (up to 6 words)
+GLOBALS_WORDS = 12
+
+RPC_SOURCE = """
+; ---- requester side -------------------------------------------------
+; ack message: [IP:ping_ack]
+ping_ack:
+    SUB   [A0+0], #1, R0      ; --count
+    MOVE  R0, [A0+0]
+    BF    R0, ping_done
+    SEND  [A0+1]              ; dest: peer node
+    SEND2E #IP:ping_req, [A0+2]
+    SUSPEND
+ping_done:
+    MOVE  #1, [A0+3]
+    SUSPEND
+
+; kickoff message: [IP:ping_go]
+ping_go:
+    SEND  [A0+1]
+    SEND2E #IP:ping_req, [A0+2]
+    SUSPEND
+
+; ---- responder side -------------------------------------------------
+; request: [IP:ping_req, replyto]
+ping_req:
+    SEND  [A3+1]
+    SENDE #IP:ping_ack
+    SUSPEND
+
+; ---- remote read ----------------------------------------------------
+; reply: [IP:read1_ack, value]
+read1_ack:
+    MOVE  [A3+1], [A0+5]
+    SUB   [A0+0], #1, R0
+    MOVE  R0, [A0+0]
+    BF    R0, ping_done
+    SEND  [A0+1]
+    SEND2 #IP:read1_req, [A0+2]
+    SENDE [A0+4]
+    SUSPEND
+
+read1_go:
+    SEND  [A0+1]
+    SEND2 #IP:read1_req, [A0+2]
+    SENDE [A0+4]
+    SUSPEND
+
+; request: [IP:read1_req, replyto, index]
+read1_req:
+    SEND  [A3+1]
+    MOVE  [A3+2], R0
+    SEND  #IP:read1_ack
+    SENDE [A1+R0]
+    SUSPEND
+
+; reply: [IP:read6_ack, v0..v5]
+read6_ack:
+    MOVE  [A3+1], [A0+5]
+    MOVE  [A3+2], [A0+6]
+    MOVE  [A3+3], [A0+7]
+    MOVE  [A3+4], [A0+8]
+    MOVE  [A3+5], [A0+9]
+    MOVE  [A3+6], [A0+10]
+    SUB   [A0+0], #1, R0
+    MOVE  R0, [A0+0]
+    BF    R0, ping_done
+    SEND  [A0+1]
+    SEND2 #IP:read6_req, [A0+2]
+    SENDE [A0+4]
+    SUSPEND
+
+read6_go:
+    SEND  [A0+1]
+    SEND2 #IP:read6_req, [A0+2]
+    SENDE [A0+4]
+    SUSPEND
+
+; request: [IP:read6_req, replyto, index]
+read6_req:
+    SEND  [A3+1]
+    MOVE  [A3+2], R0
+    SEND  #IP:read6_ack
+    SEND  [A1+R0]
+    ADD   R0, #1, R0
+    SEND  [A1+R0]
+    ADD   R0, #1, R0
+    SEND  [A1+R0]
+    ADD   R0, #1, R0
+    SEND  [A1+R0]
+    ADD   R0, #1, R0
+    SEND  [A1+R0]
+    ADD   R0, #1, R0
+    SENDE [A1+R0]
+    SUSPEND
+"""
+
+
+@dataclass
+class PingResult:
+    """Round-trip latency measurement between two nodes."""
+
+    requester: int
+    responder: int
+    hops: int
+    iterations: int
+    total_cycles: int
+
+    @property
+    def round_trip_cycles(self) -> float:
+        return self.total_cycles / self.iterations
+
+
+def _setup(
+    machine: JMachine,
+    requester: int,
+    responder: int,
+    iterations: int,
+    read_index: int,
+    remote_internal: bool,
+) -> Program:
+    program = assemble(RPC_SOURCE)
+    machine.load(program, nodes={requester, responder})
+    req = machine.node(requester).proc
+    res = machine.node(responder).proc
+
+    globals_base = program.end + 4
+    req.memory.poke(globals_base + _G_COUNT, Word.from_int(iterations))
+    req.memory.poke(globals_base + _G_PEER, Word.from_int(responder))
+    req.memory.poke(globals_base + _G_SELF, Word.from_int(requester))
+    req.memory.poke(globals_base + _G_DONE, Word.from_int(0))
+    req.memory.poke(globals_base + _G_INDEX, Word.from_int(read_index))
+    req.registers[Priority.P0].write(
+        "A0", Word.segment(globals_base, GLOBALS_WORDS)
+    )
+
+    # Remote readable array: internal just above the program, or external.
+    array_words = 16
+    if remote_internal:
+        array_base = globals_base + GLOBALS_WORDS
+    else:
+        array_base = res.memory.imem_words + 64
+    for i in range(array_words):
+        res.memory.poke(array_base + i, Word.from_int(1000 + i))
+    res.registers[Priority.P0].write("A1", Word.segment(array_base, array_words))
+    res.registers[Priority.P0].write(
+        "A0", Word.segment(globals_base, GLOBALS_WORDS)
+    )
+    return program
+
+
+def _run(
+    machine: JMachine,
+    program: Program,
+    go_label: str,
+    requester: int,
+    responder: int,
+    iterations: int,
+    max_cycles: int,
+) -> PingResult:
+    req = machine.node(requester).proc
+    globals_base = program.end + 4
+    done_addr = globals_base + _G_DONE
+    start = machine.now
+    machine.inject(requester, program.entry(go_label))
+    machine.run(
+        max_cycles=max_cycles,
+        until=lambda m: req.memory.peek(done_addr).value == 1,
+    )
+    if req.memory.peek(done_addr).value != 1:
+        raise ConfigurationError("RPC experiment did not complete")
+    return PingResult(
+        requester=requester,
+        responder=responder,
+        hops=machine.mesh.hops(requester, responder),
+        iterations=iterations,
+        total_cycles=machine.now - start,
+    )
+
+
+def run_ping(
+    machine: JMachine,
+    requester: int = 0,
+    responder: Optional[int] = None,
+    iterations: int = 20,
+    max_cycles: int = 2_000_000,
+) -> PingResult:
+    """Measure null-RPC round-trip latency (the Figure 2 "Ping" line)."""
+    responder = requester if responder is None else responder
+    program = _setup(machine, requester, responder, iterations, 0, True)
+    return _run(machine, program, "ping_go", requester, responder,
+                iterations, max_cycles)
+
+
+def run_remote_read(
+    machine: JMachine,
+    words: int,
+    internal: bool,
+    requester: int = 0,
+    responder: Optional[int] = None,
+    iterations: int = 20,
+    max_cycles: int = 2_000_000,
+) -> PingResult:
+    """Measure a remote read of 1 or 6 words from Imem or Emem."""
+    if words not in (1, 6):
+        raise ConfigurationError("the paper's remote reads are 1 or 6 words")
+    responder = requester if responder is None else responder
+    program = _setup(machine, requester, responder, iterations, 0, internal)
+    label = "read1_go" if words == 1 else "read6_go"
+    return _run(machine, program, label, requester, responder,
+                iterations, max_cycles)

@@ -1,0 +1,58 @@
+"""Tests for the shared application result structures."""
+
+import pytest
+
+from repro.apps.base import AppResult, SequentialResult, speedup
+from repro.jsim.sim import HandlerStats
+
+
+def make_result(cycles=1000, **stats):
+    return AppResult(
+        name="demo", n_nodes=4, cycles=cycles, output=None,
+        handler_stats=stats, breakdown={"idle": 0.1},
+    )
+
+
+class TestSequentialResult:
+    def test_milliseconds_at_12_5_mhz(self):
+        result = SequentialResult(cycles=12_500)
+        assert result.milliseconds == pytest.approx(1.0)
+
+
+class TestAppResult:
+    def test_milliseconds(self):
+        assert make_result(cycles=125_000).milliseconds == pytest.approx(10.0)
+
+    def test_total_threads(self):
+        a = HandlerStats(invocations=3)
+        b = HandlerStats(invocations=4)
+        assert make_result(h1=a, h2=b).total_threads() == 7
+
+    def test_total_instructions(self):
+        a = HandlerStats(instructions=100)
+        b = HandlerStats(instructions=23)
+        assert make_result(h1=a, h2=b).total_instructions() == 123
+
+
+class TestSpeedup:
+    def test_basic(self):
+        seq = SequentialResult(cycles=1000)
+        par = make_result(cycles=250)
+        assert speedup(seq, par) == 4.0
+
+    def test_zero_cycles_guarded(self):
+        seq = SequentialResult(cycles=1000)
+        assert speedup(seq, make_result(cycles=0)) == 0.0
+
+
+class TestHandlerStats:
+    def test_means(self):
+        stats = HandlerStats(invocations=4, instructions=40,
+                             message_words=12)
+        assert stats.instructions_per_thread == 10
+        assert stats.mean_message_words == 3
+
+    def test_empty_means_are_zero(self):
+        stats = HandlerStats()
+        assert stats.instructions_per_thread == 0
+        assert stats.mean_message_words == 0

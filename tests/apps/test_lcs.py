@@ -1,0 +1,117 @@
+"""Tests for the systolic LCS application."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.base import speedup
+from repro.apps.lcs import (LcsParams, generate_strings, lcs_reference,
+                            run_parallel, run_sequential)
+
+SMALL = LcsParams(a_len=48, b_len=96)
+
+
+def brute_force_lcs(a, b):
+    """Independent O(n*m) DP for cross-checking lcs_reference."""
+    rows = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            if a[i - 1] == b[j - 1]:
+                rows[i][j] = rows[i - 1][j - 1] + 1
+            else:
+                rows[i][j] = max(rows[i - 1][j], rows[i][j - 1])
+    return rows[len(a)][len(b)]
+
+
+class TestReference:
+    def test_known_case(self):
+        assert lcs_reference(list(b"ABCBDAB"), list(b"BDCABA")) == 4
+
+    def test_empty_string(self):
+        assert lcs_reference([], [1, 2, 3]) == 0
+
+    def test_identical_strings(self):
+        s = [1, 2, 3, 4]
+        assert lcs_reference(s, s) == 4
+
+    def test_disjoint_alphabets(self):
+        assert lcs_reference([1, 1, 1], [2, 2, 2]) == 0
+
+    @given(st.lists(st.integers(0, 3), max_size=12),
+           st.lists(st.integers(0, 3), max_size=12))
+    def test_matches_brute_force(self, a, b):
+        assert lcs_reference(a, b) == brute_force_lcs(a, b)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert generate_strings(SMALL) == generate_strings(SMALL)
+
+    def test_lengths(self):
+        a, b = generate_strings(SMALL)
+        assert len(a) == 48 and len(b) == 96
+
+    def test_scaled(self):
+        scaled = LcsParams().scaled(0.25)
+        assert scaled.a_len == 256
+        assert scaled.b_len == 1024
+
+
+class TestParallelCorrectness:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 3, 4, 8, 16])
+    def test_matches_reference_at_any_node_count(self, n_nodes):
+        result = run_parallel(n_nodes, SMALL)
+        a, b = generate_strings(SMALL)
+        assert result.output == lcs_reference(a, b)
+
+    def test_more_nodes_than_characters(self):
+        params = LcsParams(a_len=3, b_len=8)
+        result = run_parallel(8, params)
+        a, b = generate_strings(params)
+        assert result.output == lcs_reference(a, b)
+
+    def test_result_independent_of_node_count(self):
+        results = {run_parallel(n, SMALL).output for n in (1, 4, 8)}
+        assert len(results) == 1
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(1, 6), st.integers(43, 12345))
+    def test_random_instances(self, n_nodes, seed):
+        params = LcsParams(a_len=20, b_len=40, seed=seed)
+        result = run_parallel(n_nodes, params)
+        a, b = generate_strings(params)
+        assert result.output == lcs_reference(a, b)
+
+
+class TestBehaviour:
+    def test_thread_counts(self):
+        result = run_parallel(4, SMALL)
+        stats = result.handler_stats["NxtChar"]
+        # Every node with characters handles every streamed character.
+        assert stats.invocations == SMALL.b_len * 4
+        assert stats.mean_message_words == 3
+
+    def test_speedup_with_more_nodes(self):
+        params = LcsParams(a_len=256, b_len=512)
+        seq = run_sequential(params)
+        s4 = speedup(seq, run_parallel(4, params))
+        s16 = speedup(seq, run_parallel(16, params))
+        assert s16 > s4 > 1.5
+
+    def test_entry_exit_overhead_grows_with_machine(self):
+        """The paper's scaling story: fixed thread cost dominates as
+        per-node chunks shrink."""
+        params = LcsParams(a_len=256, b_len=512)
+        small = run_parallel(4, params)
+        big = run_parallel(64, params)
+        ipt_small = small.handler_stats["NxtChar"].instructions_per_thread
+        ipt_big = big.handler_stats["NxtChar"].instructions_per_thread
+        assert ipt_big < ipt_small  # fewer chars per handler
+        # Efficiency per node falls accordingly.
+        assert speedup(run_sequential(params), big) < 64 * 0.8
+
+    def test_startup_cost_charged_to_node_zero(self):
+        result = run_parallel(4, SMALL)
+        startup = result.handler_stats["StartUp"]
+        assert startup.invocations == SMALL.b_len
+        assert result.sim.nodes[0].profile.instructions > \
+            result.sim.nodes[1].profile.instructions

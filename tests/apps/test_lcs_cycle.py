@@ -1,0 +1,65 @@
+"""Tests for assembly LCS, including the two-level cross-validation."""
+
+import pytest
+
+from repro.apps.lcs import LcsParams, generate_strings, lcs_reference
+from repro.apps.lcs import run_parallel as run_macro_lcs
+from repro.apps.lcs_cycle import run_cycle_lcs
+from repro.core.errors import ConfigurationError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4, 8])
+    def test_matches_reference(self, n_nodes):
+        params = LcsParams(a_len=16, b_len=24)
+        result = run_cycle_lcs(n_nodes, params)
+        a, b = generate_strings(params)
+        assert result.lcs_length == lcs_reference(a, b)
+
+    @pytest.mark.parametrize("seed", [7, 99, 2024])
+    def test_random_instances(self, seed):
+        params = LcsParams(a_len=8, b_len=16, seed=seed)
+        result = run_cycle_lcs(2, params)
+        a, b = generate_strings(params)
+        assert result.lcs_length == lcs_reference(a, b)
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cycle_lcs(3, LcsParams(a_len=16, b_len=16))
+
+    def test_thread_count(self):
+        """Every node handles every B character, plus node 0's startups."""
+        params = LcsParams(a_len=16, b_len=24)
+        result = run_cycle_lcs(4, params)
+        assert result.threads == 24 * 4 + (24 - 1)
+
+
+class TestCrossValidation:
+    def test_cycle_and_macro_levels_agree(self):
+        """The flagship fidelity check: the same application, in MDP
+        assembly on the cycle simulator and as cost-charged handlers on
+        the macro simulator, finishes in nearly the same simulated time.
+
+        The macro level runs ~1.4x the assembly version because it
+        charges the paper's *typical* 2.0 cycles/instruction while this
+        hand-tuned inner loop achieves ~1.65 — the same relationship the
+        paper notes between its tuned kernels and typical code.
+        """
+        params = LcsParams(a_len=32, b_len=64)
+        cycle = run_cycle_lcs(4, params)
+        macro = run_macro_lcs(4, params)
+        assert macro.output == cycle.lcs_length
+        assert macro.cycles == pytest.approx(cycle.cycles, rel=0.5)
+        assert macro.cycles >= cycle.cycles  # macro is the conservative one
+
+    def test_per_thread_instructions_agree(self):
+        """The macro model's 13-instr/char handler matches the real
+        assembly's dynamic instruction count."""
+        params = LcsParams(a_len=32, b_len=64)
+        cycle = run_cycle_lcs(4, params)
+        # NxtChar threads dominate: (b_len * n_nodes) handlers.
+        handlers = params.b_len * 4
+        instr_per_thread = cycle.instructions / handlers
+        chunk = params.a_len // 4
+        macro_estimate = 20 + 13 * chunk  # FIXED + PER_CHAR * chunk
+        assert instr_per_thread == pytest.approx(macro_estimate, rel=0.35)

@@ -1,0 +1,45 @@
+"""Tests for the LCS scaling decomposition (paper Section 4.3.1)."""
+
+import pytest
+
+from repro.apps.lcs import LcsParams, scaling_analysis
+
+
+@pytest.fixture(scope="module")
+def series():
+    params = LcsParams(a_len=1024, b_len=1024)
+    return {n: scaling_analysis(n, params) for n in (64, 256, 512)}
+
+
+def test_entry_exit_share_at_64_nodes_near_paper(series):
+    """Paper: handler entry and exit account for 9% at 64 nodes."""
+    assert series[64].entry_exit_share == pytest.approx(0.09, abs=0.03)
+
+
+def test_entry_exit_share_grows_with_machine(series):
+    """Paper: 9% -> 24% -> 33% as chunks shrink to 2 characters."""
+    shares = [series[n].entry_exit_share for n in (64, 256, 512)]
+    assert shares == sorted(shares)
+    assert shares[-1] > 2.5 * shares[0]
+
+
+def test_node0_imbalance_grows_with_machine(series):
+    """Paper: node 0's generation load costs 4% -> 13% -> 17%."""
+    imbalances = [series[n].node0_imbalance_share for n in (64, 256, 512)]
+    assert imbalances[0] < imbalances[2]
+    assert imbalances[0] > 0.0
+
+
+def test_idle_grows_with_machine(series):
+    """Systolic skew and imbalance leave more of a bigger machine idle."""
+    idles = [series[n].idle_share for n in (64, 256, 512)]
+    assert idles == sorted(idles)
+
+
+def test_reuses_existing_result():
+    from repro.apps.lcs import run_parallel
+    params = LcsParams(a_len=64, b_len=128)
+    result = run_parallel(8, params)
+    scaling = scaling_analysis(8, params, result=result)
+    assert scaling.n_nodes == 8
+    assert 0 <= scaling.entry_exit_share <= 1

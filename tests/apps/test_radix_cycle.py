@@ -1,0 +1,70 @@
+"""Tests for the assembly radix sort on the cycle machine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.radix_cycle import run_cycle_radix
+from repro.core.errors import ConfigurationError
+
+
+def keys_for(count, limit=256, seed=5):
+    rng = random.Random(seed)
+    return [rng.randrange(limit) for _ in range(count)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4, 8])
+    def test_sorts_at_any_node_count(self, n_nodes):
+        keys = keys_for(32)
+        result = run_cycle_radix(n_nodes, keys)
+        assert result.sorted_keys == sorted(keys)
+
+    def test_duplicates(self):
+        keys = [5] * 10 + [1] * 10 + [3] * 12
+        result = run_cycle_radix(4, keys)
+        assert result.sorted_keys == sorted(keys)
+
+    def test_already_sorted(self):
+        keys = list(range(32))
+        assert run_cycle_radix(4, keys).sorted_keys == keys
+
+    def test_reverse_sorted(self):
+        keys = list(range(31, -1, -1))
+        assert run_cycle_radix(4, keys).sorted_keys == sorted(keys)
+
+    def test_two_digit_keys(self):
+        keys = keys_for(16, limit=16)
+        result = run_cycle_radix(2, keys, n_digits=2)
+        assert result.sorted_keys == sorted(keys)
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cycle_radix(3, keys_for(32))
+
+    def test_out_of_range_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cycle_radix(2, [5, 300], n_digits=2)
+
+    @settings(deadline=None, max_examples=8)
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=24)
+           .filter(lambda ks: len(ks) % 2 == 0))
+    def test_random_instances(self, keys):
+        result = run_cycle_radix(2, keys)
+        assert result.sorted_keys == sorted(keys)
+
+
+class TestBehaviour:
+    def test_more_nodes_more_dispatches(self):
+        """Remote writes grow with node count (more keys leave home)."""
+        keys = keys_for(64)
+        small = run_cycle_radix(2, keys)
+        large = run_cycle_radix(8, keys)
+        assert large.write_messages > small.write_messages
+
+    def test_parallelism_reduces_cycles(self):
+        keys = keys_for(64)
+        one = run_cycle_radix(1, keys)
+        eight = run_cycle_radix(8, keys)
+        assert eight.cycles < one.cycles

@@ -1,0 +1,92 @@
+"""Tests for the parallel radix sort application."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.base import speedup
+from repro.apps.radix_sort import (RadixParams, generate_keys, run_parallel,
+                                   run_sequential)
+from repro.core.errors import ConfigurationError
+
+SMALL = RadixParams(n_keys=512, key_bits=16)
+
+
+class TestParams:
+    def test_digit_count(self):
+        assert RadixParams().n_digits == 7
+        assert RadixParams(key_bits=16, digit_bits=4).n_digits == 4
+
+    def test_radix(self):
+        assert RadixParams().radix == 16
+
+    def test_generation_deterministic(self):
+        assert generate_keys(SMALL) == generate_keys(SMALL)
+
+    def test_keys_within_bits(self):
+        assert all(0 <= k < 2**16 for k in generate_keys(SMALL))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4, 8, 16])
+    def test_sorts_at_any_node_count(self, n_nodes):
+        result = run_parallel(n_nodes, SMALL)
+        assert result.output == sorted(generate_keys(SMALL))
+
+    def test_uneven_division_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_parallel(3, SMALL)  # 512 % 3 != 0
+
+    @settings(deadline=None, max_examples=8)
+    @given(st.integers(0, 10000))
+    def test_random_seeds(self, seed):
+        params = RadixParams(n_keys=256, key_bits=12, seed=seed)
+        result = run_parallel(4, params)
+        assert result.output == sorted(generate_keys(params))
+
+    def test_duplicate_heavy_input(self):
+        params = RadixParams(n_keys=256, key_bits=3)  # only 8 values
+        result = run_parallel(8, params)
+        assert result.output == sorted(generate_keys(params))
+
+    def test_sequential_output_sorted(self):
+        assert run_sequential(SMALL).output == sorted(generate_keys(SMALL))
+
+
+class TestBehaviour:
+    def test_remote_write_count(self):
+        """Remote writes = total writes minus the locally-kept ones."""
+        result = run_parallel(8, SMALL)
+        writes = result.handler_stats["WriteData"]
+        total_writes = SMALL.n_keys * SMALL.n_digits
+        assert 0 < writes.invocations < total_writes
+        # With 8 nodes, ~7/8 of writes are remote.
+        assert writes.invocations > total_writes * 0.7
+
+    def test_write_handler_is_tiny(self):
+        result = run_parallel(4, SMALL)
+        writes = result.handler_stats["WriteData"]
+        # 4 instructions each, plus the completion-tree send charged to
+        # the last write of an iteration.
+        assert writes.instructions_per_thread == pytest.approx(4, abs=0.2)
+        assert writes.mean_message_words == 3
+
+    def test_one_node_sends_no_write_messages(self):
+        result = run_parallel(1, SMALL)
+        assert result.handler_stats["WriteData"].invocations == 0
+
+    def test_two_node_speedup_modest(self):
+        """Paper: 1.3x from 1 to 2 nodes (remote writes cost ~3x local)."""
+        seq = run_sequential(SMALL)
+        s2 = speedup(seq, run_parallel(2, SMALL))
+        assert 1.0 < s2 < 1.9
+
+    def test_scales_beyond_two(self):
+        seq = run_sequential(SMALL)
+        s2 = speedup(seq, run_parallel(2, SMALL))
+        s8 = speedup(seq, run_parallel(8, SMALL))
+        assert s8 > s2 * 2
+
+    def test_sort_threads_one_per_node_per_digit(self):
+        result = run_parallel(4, SMALL)
+        sorts = result.handler_stats["Sort"]
+        assert sorts.invocations == 4 * SMALL.n_digits

@@ -1,0 +1,91 @@
+"""Tests for the TSP branch-and-bound application."""
+
+import pytest
+
+from repro.apps.tsp import (TspParams, build_distances, held_karp,
+                            run_parallel, run_sequential)
+
+SMALL = TspParams(n_cities=8, task_depth=2)
+
+
+class TestDistances:
+    def test_symmetric(self):
+        dist = build_distances(SMALL)
+        for i in range(8):
+            for j in range(8):
+                assert dist[i][j] == dist[j][i]
+
+    def test_zero_diagonal(self):
+        dist = build_distances(SMALL)
+        assert all(dist[i][i] == 0 for i in range(8))
+
+    def test_deterministic(self):
+        assert build_distances(SMALL) == build_distances(SMALL)
+
+
+class TestHeldKarp:
+    def test_trivial_two_cities(self):
+        dist = [[0, 5], [5, 0]]
+        assert held_karp(dist) == 10
+
+    def test_square(self):
+        # Unit square: optimal tour is the perimeter = 4.
+        dist = [[0, 1, 2, 1], [1, 0, 1, 2], [2, 1, 0, 1], [1, 2, 1, 0]]
+        assert held_karp(dist) == 4
+
+    def test_matches_brute_force(self):
+        from itertools import permutations
+        dist = build_distances(TspParams(n_cities=7))
+        brute = min(
+            sum(dist[a][b] for a, b in zip((0,) + p, p + (0,)))
+            for p in permutations(range(1, 7))
+        )
+        assert held_karp(dist) == brute
+
+
+class TestSearch:
+    def test_sequential_finds_optimum(self):
+        result = run_sequential(SMALL)
+        assert result.output == held_karp(build_distances(SMALL))
+
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4, 8])
+    def test_parallel_finds_optimum(self, n_nodes):
+        result = run_parallel(n_nodes, SMALL)
+        assert result.output == held_karp(build_distances(SMALL))
+
+    @pytest.mark.parametrize("seed", [1, 99, 777])
+    def test_different_instances(self, seed):
+        params = TspParams(n_cities=9, task_depth=2, seed=seed)
+        result = run_parallel(4, params)
+        assert result.output == held_karp(build_distances(params))
+
+    def test_deeper_task_split(self):
+        params = TspParams(n_cities=9, task_depth=3)
+        result = run_parallel(4, params)
+        assert result.output == held_karp(build_distances(params))
+
+
+class TestCostProfile:
+    def test_user_and_os_threads_counted(self):
+        result = run_parallel(4, SMALL)
+        assert result.extra["user_threads"] > 0
+        assert result.extra["os_threads"] > 0
+
+    def test_xlates_accumulate(self):
+        result = run_parallel(4, SMALL)
+        assert result.extra["xlates"] > result.extra["user_threads"]
+
+    def test_sync_overhead_visible(self):
+        """The periodic null-call yield shows up as sync time."""
+        result = run_parallel(4, TspParams(n_cities=9, task_depth=2))
+        assert result.breakdown["sync"] > 0.03
+
+    def test_low_idle_with_stealing(self):
+        """Dynamic balancing keeps idle low (paper: 3.8% vs 15%)."""
+        result = run_parallel(4, TspParams(n_cities=9, task_depth=2))
+        assert result.breakdown["idle"] < 0.25
+
+    def test_all_tasks_drained(self):
+        result = run_parallel(8, SMALL)
+        done = result.handler_stats["TSPTaskDone"].invocations
+        assert done == result.extra["tasks"]

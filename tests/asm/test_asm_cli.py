@@ -1,0 +1,42 @@
+"""Tests for the `python -m repro.asm` CLI."""
+
+import subprocess
+import sys
+
+
+def run_asm(*args, expect_ok=True):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.asm", *args],
+        capture_output=True, text=True, timeout=60,
+    )
+    if expect_ok:
+        assert result.returncode == 0, result.stderr
+    return result
+
+
+def test_help_text():
+    result = run_asm("--help")
+    assert "assemble" in result.stdout.lower()
+
+
+def test_isa_reference_generation():
+    result = run_asm("--isa-reference")
+    assert "# MDP Instruction Set Reference" in result.stdout
+    assert "`SEND2E`" in result.stdout
+
+
+def test_assemble_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("main:\n MOVE #1, R0\n HALT\n")
+    result = run_asm(str(path))
+    assert "assembled 2 instructions" in result.stdout
+    assert "MOVE #1, R0" in result.stdout
+
+
+def test_docs_isa_is_current():
+    """docs/ISA.md matches what the code generates (no drift)."""
+    import pathlib
+    from repro.asm.disassembler import isa_reference
+
+    docs = pathlib.Path(__file__).parents[2] / "docs" / "ISA.md"
+    assert docs.read_text().strip() == isa_reference().strip()

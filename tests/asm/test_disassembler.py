@@ -1,0 +1,101 @@
+"""Tests for the disassembler, including the round-trip property."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import (disassemble, format_instr, format_operand,
+                                    isa_reference)
+from repro.core.isa import Imm, MemIdx, MemOff, Reg
+from repro.core.word import Word
+from repro.apps.radix_cycle import radix_cycle_source
+from repro.runtime.barrier import BARRIER_SOURCE
+from repro.runtime.rpc import RPC_SOURCE
+
+
+class TestOperandFormatting:
+    def test_register(self):
+        assert format_operand(Reg("R2"), {}, "s") == "R2"
+
+    def test_memory_zero_offset(self):
+        assert format_operand(MemOff("A3", 0), {}, "s") == "[A3]"
+
+    def test_memory_positive_offset(self):
+        assert format_operand(MemOff("A1", 5), {}, "s") == "[A1+5]"
+
+    def test_memory_negative_offset(self):
+        assert format_operand(MemOff("A1", -2), {}, "s") == "[A1-2]"
+
+    def test_memory_register_index(self):
+        assert format_operand(MemIdx("A2", "R1"), {}, "s") == "[A2+R1]"
+
+    def test_int_immediate(self):
+        assert format_operand(Imm(Word.from_int(-3)), {}, "s") == "#-3"
+
+    def test_char_immediate(self):
+        assert format_operand(Imm(Word.from_sym(ord("x"))), {}, "s") == "#'x'"
+
+    def test_ip_immediate_with_label(self):
+        operand = Imm(Word.ip(200))
+        assert format_operand(operand, {200: "handler"}, "s") == "#IP:handler"
+
+    def test_branch_target_uses_label(self):
+        operand = Imm(Word.from_int(300))
+        assert format_operand(operand, {300: "loop"}, "t") == "loop"
+
+    def test_tag_immediate(self):
+        from repro.core.tags import Tag
+        operand = Imm(Word.from_sym(int(Tag.CFUT)))
+        assert format_operand(operand, {}, "g") == "%CFUT"
+
+
+class TestInstrFormatting:
+    def test_no_operands(self):
+        program = assemble("SUSPEND")
+        assert format_instr(program.instrs[0][1], {}) == "SUSPEND"
+
+    def test_three_operands(self):
+        program = assemble("ADD R0, #1, R1")
+        assert format_instr(program.instrs[0][1], {}) == "ADD R0, #1, R1"
+
+
+def _normalize(program):
+    """Comparable form of a program: ops, operand reprs, data words."""
+    return (
+        [(addr, instr.op, [repr(o) for o in instr.operands])
+         for addr, instr in program.instrs],
+        sorted(program.data, key=lambda pair: pair[0]),
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [
+        "start:\n MOVE #1, R0\n HALT",
+        "a: .word 1, 2, CFUT, 'q'\ngo: BR go",
+        RPC_SOURCE,
+        BARRIER_SOURCE,
+        radix_cycle_source(kpn=8, n_nodes=4, n_digits=3),
+    ])
+    def test_reassembles_identically(self, source):
+        original = assemble(source)
+        text = disassemble(original)
+        rebuilt = assemble(text, base=original.base)
+        assert _normalize(rebuilt) == _normalize(original)
+
+    def test_disassembly_shows_labels(self):
+        program = assemble("entry:\n BR entry")
+        text = disassemble(program)
+        assert "entry:" in text
+        assert "BR entry" in text
+
+
+class TestIsaReference:
+    def test_reference_covers_every_opcode(self):
+        from repro.core.isa import OPCODES
+        text = isa_reference()
+        for name in OPCODES:
+            assert f"`{name}`" in text
+
+    def test_reference_is_markdown(self):
+        text = isa_reference()
+        assert text.startswith("# MDP Instruction Set Reference")
+        assert "| opcode |" in text

@@ -1,0 +1,28 @@
+"""Tests for the per-scale application problem sizes."""
+
+from repro.bench import appscale
+
+
+def test_small_scale_sizes(monkeypatch):
+    monkeypatch.delenv("JM_SCALE", raising=False)
+    assert appscale.lcs_params().a_len == 256
+    assert appscale.radix_params().n_keys == 16384
+    assert appscale.nqueens_params().n == 11
+    assert appscale.tsp_params().n_cities == 11
+
+
+def test_paper_scale_sizes(monkeypatch):
+    monkeypatch.setenv("JM_SCALE", "paper")
+    assert appscale.lcs_params().a_len == 1024
+    assert appscale.lcs_params().b_len == 4096
+    assert appscale.radix_params().n_keys == 65536
+    assert appscale.nqueens_params().n == 13
+    assert appscale.tsp_params().n_cities == 14
+    assert appscale.tsp_params().task_depth == 3
+
+
+def test_small_preserves_structure(monkeypatch):
+    """Small-scale instances keep the same digit/alphabet structure."""
+    monkeypatch.delenv("JM_SCALE", raising=False)
+    assert appscale.radix_params().n_digits == 7
+    assert appscale.lcs_params().b_len == 4 * appscale.lcs_params().a_len

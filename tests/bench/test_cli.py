@@ -1,0 +1,40 @@
+"""Tests for the `python -m repro.bench` entry point."""
+
+import subprocess
+import sys
+
+
+def run_bench(*artifacts):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", *artifacts],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_single_artifact_selection():
+    out = run_bench("table2")
+    assert "Table 2" in out
+    assert "exact match" in out
+    assert "Table 3" not in out  # others not selected
+
+
+def test_multiple_artifacts():
+    out = run_bench("table2", "fig4")
+    assert "Table 2" in out
+    assert "Figure 4" in out
+
+
+def test_reports_scale_and_timing():
+    out = run_bench("table2")
+    assert "scale: small" in out
+    assert "[table2:" in out
+
+
+def test_out_writes_report(tmp_path):
+    out = tmp_path / "report.md"
+    run_bench("table2", "--out", str(out))
+    text = out.read_text()
+    assert "Table 2" in text
+    assert "scale: small" in text

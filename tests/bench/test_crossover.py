@@ -1,0 +1,39 @@
+"""Unit tests for the grain-crossover study."""
+
+import pytest
+
+from repro.bench import crossover
+
+
+@pytest.fixture(scope="module")
+def result():
+    return crossover.run(n_nodes=4, n_keys=1024)
+
+
+def test_every_overhead_point_present(result):
+    labels = {label for label, _, _ in crossover.OVERHEAD_SWEEP}
+    assert set(result.points) == labels
+
+
+def test_penalty_definition(result):
+    label = crossover.OVERHEAD_SWEEP[0][0]
+    point = result.points[label]
+    assert result.penalty(label) == point["fine"] / point["coarse"]
+
+
+def test_fine_degrades_faster_than_coarse(result):
+    """Raising overhead hurts the message-per-key style far more."""
+    first = crossover.OVERHEAD_SWEEP[0][0]
+    last = crossover.OVERHEAD_SWEEP[-1][0]
+    fine_growth = (result.points[last]["fine"]
+                   / result.points[first]["fine"])
+    coarse_growth = (result.points[last]["coarse"]
+                     / result.points[first]["coarse"])
+    assert fine_growth > 3 * coarse_growth
+
+
+def test_format_lists_all_rows(result):
+    text = crossover.format_result(result)
+    for label, _, _ in crossover.OVERHEAD_SWEEP:
+        assert label in text
+    assert "fine/coarse" in text

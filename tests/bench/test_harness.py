@@ -1,0 +1,64 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import format_table, is_paper_scale, node_counts, scale
+
+
+class TestScale:
+    def test_default_is_small(self, monkeypatch):
+        monkeypatch.delenv("JM_SCALE", raising=False)
+        assert scale() == "small"
+        assert not is_paper_scale()
+
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("JM_SCALE", "paper")
+        assert scale() == "paper"
+        assert is_paper_scale()
+
+    def test_garbage_falls_back_to_small(self, monkeypatch):
+        monkeypatch.setenv("JM_SCALE", "enormous")
+        assert scale() == "small"
+
+
+class TestNodeCounts:
+    def test_small_scale_stops_at_64(self, monkeypatch):
+        monkeypatch.delenv("JM_SCALE", raising=False)
+        assert node_counts()[-1] == 64
+
+    def test_paper_scale_reaches_512(self, monkeypatch):
+        monkeypatch.setenv("JM_SCALE", "paper")
+        assert node_counts()[-1] == 512
+
+    def test_explicit_limit(self):
+        assert node_counts(8) == [1, 2, 4, 8]
+
+    def test_powers_of_two(self):
+        counts = node_counts(512)
+        assert all(n & (n - 1) == 0 for n in counts)
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        text = format_table(["a", "bb"], [[1, 2], [3, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_none_renders_dash(self):
+        text = format_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_large_numbers_get_commas(self):
+        text = format_table(["x"], [[1234567]])
+        assert "1,234,567" in text
+
+    def test_columns_align(self):
+        text = format_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])

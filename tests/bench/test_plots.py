@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plots import ascii_chart
+
+
+def test_empty_series():
+    assert "(no data)" in ascii_chart({}, title="t")
+
+
+def test_title_and_legend_present():
+    text = ascii_chart({"alpha": [(0, 0), (1, 1)]}, title="My Chart")
+    assert text.startswith("My Chart")
+    assert "a=alpha" in text
+
+
+def test_markers_rendered():
+    text = ascii_chart({"one": [(0, 0), (10, 10)],
+                        "two": [(5, 5)]})
+    assert "a" in text
+    assert "b" in text
+
+
+def test_axis_extremes_labelled():
+    text = ascii_chart({"s": [(2, 30), (8, 120)]})
+    assert "120" in text
+    assert "2" in text and "8" in text
+
+
+def test_fixed_dimensions():
+    text = ascii_chart({"s": [(0, 0), (1, 1)]}, width=40, height=10)
+    grid_lines = [line for line in text.splitlines() if "|" in line]
+    assert len(grid_lines) == 10
+    assert all(len(line.split("|", 1)[1]) == 40 for line in grid_lines)
+
+
+def test_monotone_series_renders_monotone():
+    """A rising series' markers never go down as x increases."""
+    points = [(x, x * x) for x in range(10)]
+    text = ascii_chart({"s": points}, width=30, height=12)
+    grid = [line.split("|", 1)[1] for line in text.splitlines()
+            if "|" in line]
+    positions = []
+    for column in range(30):
+        for row, line in enumerate(grid):
+            if line[column] == "a":
+                positions.append((column, row))
+                break
+    rows = [row for _, row in positions]
+    assert rows == sorted(rows, reverse=True)
+
+
+def test_log_x_spreads_wide_ranges():
+    points = [(10, 1), (100, 2), (1000, 3)]
+    linear = ascii_chart({"s": points}, logx=False, width=40, height=8)
+    logged = ascii_chart({"s": points}, logx=True, width=40, height=8)
+
+    def first_marker_column(text):
+        for line in text.splitlines():
+            if "|" in line and "a" in line:
+                return line.split("|", 1)[1].index("a")
+        return None
+
+    # In log space the middle point sits mid-chart, not squeezed left.
+    assert "a" in logged
+
+
+def test_y_axis_label_shown():
+    text = ascii_chart({"s": [(0, 0), (1, 5)]}, y_label="lat")
+    assert "lat" in text
+
+
+def test_chart_functions_integrate():
+    from repro.bench import fig4
+    result = fig4.run(sizes=(2, 8))
+    chart = fig4.format_chart(result)
+    assert "Figure 4" in chart
+    assert "a=discard" in chart

@@ -1,0 +1,52 @@
+"""Sanity checks on the published reference data."""
+
+from repro.bench.reference import (PAPER_FIG2, PAPER_TABLE2, PAPER_TABLE4,
+                                   PAPER_TABLE5, TABLE1_JMACHINE, TABLE1_ROWS,
+                                   TABLE3_BARRIER_US)
+
+
+def test_table1_jmachine_is_fastest():
+    for row in TABLE1_ROWS:
+        assert row.cycles_per_msg > TABLE1_JMACHINE.cycles_per_msg
+        assert row.cycles_per_byte > TABLE1_JMACHINE.cycles_per_byte
+
+
+def test_table1_active_messages_beat_vendor():
+    rows = {row.machine: row for row in TABLE1_ROWS}
+    assert rows["nCUBE/2 (Active)"].us_per_msg < rows["nCUBE/2 (Vendor)"].us_per_msg
+    assert rows["CM-5 (Active)"].us_per_msg < rows["CM-5 (Vendor)"].us_per_msg
+
+
+def test_table3_j_machine_fastest_big_machine():
+    """At 64 nodes the J-Machine beats every microprocessor machine."""
+    j = TABLE3_BARRIER_US["J-Machine"][64]
+    for machine in ("KSR", "IPSC/860"):
+        assert TABLE3_BARRIER_US[machine][64] > 10 * j
+
+
+def test_table3_columns_monotone():
+    for machine, column in TABLE3_BARRIER_US.items():
+        values = [column[n] for n in sorted(column) if column[n] is not None]
+        assert values == sorted(values), machine
+
+
+def test_fig2_decomposition_adds_up():
+    assert (PAPER_FIG2["ping_network_cycles"]
+            + PAPER_FIG2["ping_thread_cycles"]
+            == PAPER_FIG2["ping_base_cycles"])
+
+
+def test_table2_tags_strictly_better():
+    for event in ("Success", "Failure", "Write"):
+        assert PAPER_TABLE2[event]["tags"] < PAPER_TABLE2[event]["no_tags"]
+
+
+def test_table4_thread_structure():
+    for app, data in PAPER_TABLE4.items():
+        assert set(data["threads"]) == set(data["instr_per_thread"])
+        assert set(data["threads"]) == set(data["msg_length"])
+
+
+def test_table5_mean_thread_lengths_consistent():
+    mean = PAPER_TABLE5["user_instructions"] / PAPER_TABLE5["user_threads"]
+    assert abs(mean - PAPER_TABLE5["user_instr_per_thread"]) < 5

@@ -1,0 +1,34 @@
+"""Tests for the accuracy scorecard."""
+
+from repro.bench import summary
+from repro.bench.summary import Check
+
+
+class TestCheck:
+    def test_match_within_tolerance(self):
+        assert Check("x", 100, 108, 0.10).verdict == "MATCH"
+
+    def test_off_verdict(self):
+        assert "off by" in Check("x", 100, 150, 0.10).verdict
+
+    def test_skipped_verdict(self):
+        check = Check("x", 100, None, skipped="reason")
+        assert "skipped" in check.verdict
+
+    def test_ratio(self):
+        assert Check("x", 50, 100).ratio == 2.0
+        assert Check("x", 50, None).ratio is None
+
+    def test_exact_tolerance_zero(self):
+        assert Check("x", 12, 12, 0.0).verdict == "MATCH"
+        assert "off" in Check("x", 12, 13, 0.0).verdict
+
+
+def test_scorecard_runs_and_matches():
+    """The whole scorecard passes at small scale (the anchors)."""
+    checks = summary.run()
+    failed = [c for c in checks
+              if not c.skipped and c.verdict != "MATCH"]
+    assert failed == [], failed
+    text = summary.format_result(checks)
+    assert "Accuracy scorecard" in text

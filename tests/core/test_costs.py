@@ -1,0 +1,66 @@
+"""Tests for the cycle cost model."""
+
+import pytest
+
+from repro.core.costs import (CLOCK_HZ, CYCLE_NS, DEFAULT_COSTS, CostModel,
+                              PHITS_PER_WORD)
+
+
+class TestConstants:
+    def test_clock_is_12_5_mhz(self):
+        assert CLOCK_HZ == 12_500_000
+        assert CYCLE_NS == pytest.approx(80.0)
+
+    def test_paper_headline_constants(self):
+        costs = DEFAULT_COSTS
+        assert costs.reg_op == 1
+        assert costs.dispatch == 4
+        assert costs.xlate_hit == 3
+        assert costs.hop == 1
+        assert costs.phits_per_word == PHITS_PER_WORD == 2
+        assert costs.inject_words_per_cycle == 2
+
+    def test_table2_constants(self):
+        costs = DEFAULT_COSTS
+        assert costs.sync_tag_success == 2
+        assert costs.sync_tag_failure == 6
+        assert costs.sync_tag_write == 4
+        assert costs.sync_flag_success == 5
+        assert costs.sync_flag_failure == 7
+        assert costs.sync_flag_write == 6
+        assert (costs.suspend_save_min, costs.suspend_save_max) == (30, 50)
+        assert (costs.restart_min, costs.restart_max) == (20, 50)
+
+
+class TestOverrides:
+    def test_known_field(self):
+        retimed = DEFAULT_COSTS.with_overrides(dispatch=10)
+        assert retimed.dispatch == 10
+        assert DEFAULT_COSTS.dispatch == 4  # original untouched
+
+    def test_unknown_key_lands_in_extras(self):
+        retimed = DEFAULT_COSTS.with_overrides(warp_factor=9)
+        assert retimed.extras["warp_factor"] == 9
+
+    def test_mixed_overrides(self):
+        retimed = DEFAULT_COSTS.with_overrides(hop=2, custom=1)
+        assert retimed.hop == 2
+        assert retimed.extras == {"custom": 1}
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.dispatch = 99
+
+
+class TestDerived:
+    def test_message_wire_cycles(self):
+        # 4-word message over 5 hops: 5 + 8 + 2 interface cycles.
+        assert DEFAULT_COSTS.message_wire_cycles(4, 5) == 15
+
+    def test_zero_hop_message(self):
+        assert DEFAULT_COSTS.message_wire_cycles(1, 0) == 4
+
+    def test_cycles_us_roundtrip(self):
+        us = DEFAULT_COSTS.cycles_to_us(1250)
+        assert us == pytest.approx(100.0)
+        assert DEFAULT_COSTS.us_to_cycles(us) == pytest.approx(1250)

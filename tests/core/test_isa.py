@@ -1,0 +1,78 @@
+"""Tests for the ISA metadata and operand classes."""
+
+import pytest
+
+from repro.core.errors import AssemblyError, IllegalInstructionFault
+from repro.core.isa import (ALU_OPS, COMPARE_OPS, Imm, Instr, MemIdx, MemOff,
+                            OPCODES, Reg)
+from repro.core.word import Word
+
+
+class TestOpcodeTable:
+    def test_all_alu_ops_present(self):
+        for name in ALU_OPS + COMPARE_OPS:
+            assert name in OPCODES
+            assert OPCODES[name].roles == "ssd"
+
+    def test_send_family(self):
+        assert OPCODES["SEND"].roles == "s"
+        assert OPCODES["SEND2"].roles == "ss"
+        assert OPCODES["SENDE"].roles == "s"
+        assert OPCODES["SEND2E"].roles == "ss"
+        for name in ("SEND", "SEND2", "SENDE", "SEND2E"):
+            assert OPCODES[name].kind == "send"
+
+    def test_kind_partition(self):
+        kinds = {spec.kind for spec in OPCODES.values()}
+        assert kinds == {"move", "alu", "branch", "control", "send",
+                         "name", "sync"}
+
+    def test_every_opcode_documented(self):
+        assert all(spec.doc for spec in OPCODES.values())
+
+    def test_arity_matches_roles(self):
+        assert all(spec.arity == len(spec.roles)
+                   for spec in OPCODES.values())
+
+
+class TestOperands:
+    def test_reg_validates_name(self):
+        with pytest.raises(IllegalInstructionFault):
+            Reg("R7")
+
+    def test_reg_is_address_flag(self):
+        assert Reg("A0").is_address
+        assert not Reg("R0").is_address
+
+    def test_reg_equality(self):
+        assert Reg("r1") == Reg("R1")
+        assert Reg("R1") != Reg("R2")
+
+    def test_memoff_requires_address_register(self):
+        with pytest.raises(IllegalInstructionFault):
+            MemOff("R1", 0)
+
+    def test_memidx_requires_data_index(self):
+        with pytest.raises(IllegalInstructionFault):
+            MemIdx("A1", "A2")
+
+    def test_imm_holds_word(self):
+        assert Imm(Word.from_int(3)).word.value == 3
+
+
+class TestInstr:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError):
+            Instr("FLY", [])
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblyError):
+            Instr("MOVE", [Reg("R0")])
+
+    def test_memory_operands_helper(self):
+        instr = Instr("ADD", [MemOff("A0", 1), Reg("R0"), Reg("R1")])
+        assert len(instr.memory_operands()) == 1
+
+    def test_repr_is_readable(self):
+        instr = Instr("MOVE", [Imm(Word.from_int(1)), Reg("R0")])
+        assert "MOVE" in repr(instr)

@@ -1,0 +1,184 @@
+"""Tests for the node memory system and segment allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import MemoryError_, SegmentationFault
+from repro.core.memory import IMEM_WORDS, NodeMemory, SegmentAllocator
+from repro.core.word import Word
+
+
+@pytest.fixture
+def memory():
+    return NodeMemory(imem_words=256, emem_words=1024)
+
+
+class TestGeometry:
+    def test_default_sizes(self):
+        memory = NodeMemory()
+        assert memory.imem_words == 4096
+        assert memory.emem_words == 256 * 1024
+        assert memory.total_words == 4096 + 256 * 1024
+
+    def test_is_internal(self, memory):
+        assert memory.is_internal(0)
+        assert memory.is_internal(255)
+        assert not memory.is_internal(256)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(MemoryError_):
+            NodeMemory(imem_words=0)
+
+
+class TestAccess:
+    def test_read_write_roundtrip(self, memory):
+        memory.write(10, Word.from_int(99))
+        assert memory.read(10) == Word.from_int(99)
+
+    def test_initial_contents_are_nil(self, memory):
+        assert memory.read(5).value == 0
+
+    def test_out_of_range_read(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.read(memory.total_words)
+
+    def test_negative_address(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.read(-1)
+
+    def test_write_requires_word(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.write(0, 42)
+
+    def test_peek_poke_do_not_meter(self, memory):
+        memory.poke(3, Word.from_int(1))
+        assert memory.peek(3).value == 1
+        assert memory.meter.cycles == 0
+
+
+class TestAccessCosts:
+    def test_imem_read_costs_one(self, memory):
+        memory.read(0)
+        assert memory.meter.take_cycles() == 1
+
+    def test_emem_read_costs_six(self, memory):
+        memory.read(300)
+        assert memory.meter.take_cycles() == 6
+
+    def test_costs_accumulate(self, memory):
+        memory.read(0)
+        memory.read(300)
+        assert memory.meter.take_cycles() == 7
+
+    def test_take_cycles_clears(self, memory):
+        memory.read(0)
+        memory.meter.take_cycles()
+        assert memory.meter.take_cycles() == 0
+
+    def test_traffic_counters(self, memory):
+        memory.read(0)
+        memory.write(0, Word.from_int(1))
+        memory.read(300)
+        memory.write(300, Word.from_int(1))
+        assert memory.meter.imem_reads == 1
+        assert memory.meter.imem_writes == 1
+        assert memory.meter.emem_reads == 1
+        assert memory.meter.emem_writes == 1
+
+    def test_access_cycles_helper(self, memory):
+        assert memory.access_cycles(0) == 1
+        assert memory.access_cycles(500) == 6
+
+
+class TestBlocks:
+    def test_load_dump_roundtrip(self, memory):
+        words = [Word.from_int(i) for i in range(8)]
+        memory.load_block(16, words)
+        assert memory.dump_block(16, 8) == words
+
+    def test_load_block_bounds(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.load_block(memory.total_words - 2, [Word.from_int(0)] * 4)
+
+    def test_dump_block_bounds(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.dump_block(-1, 4)
+
+
+class TestIndexedAccess:
+    def test_read_indexed(self, memory):
+        memory.poke(100, Word.from_int(55))
+        descriptor = Word.segment(100, 4)
+        assert memory.read_indexed(descriptor, 0).value == 55
+
+    def test_write_indexed(self, memory):
+        descriptor = Word.segment(100, 4)
+        memory.write_indexed(descriptor, 3, Word.from_int(7))
+        assert memory.peek(103).value == 7
+
+    def test_index_bounds_checked(self, memory):
+        descriptor = Word.segment(100, 4)
+        with pytest.raises(SegmentationFault):
+            memory.read_indexed(descriptor, 4)
+
+    def test_negative_index_rejected(self, memory):
+        descriptor = Word.segment(100, 4)
+        with pytest.raises(SegmentationFault):
+            memory.read_indexed(descriptor, -1)
+
+    @given(st.integers(0, 15))
+    def test_all_indices_in_segment_accessible(self, index):
+        memory = NodeMemory(imem_words=256, emem_words=64)
+        descriptor = Word.segment(32, 16)
+        memory.write_indexed(descriptor, index, Word.from_int(index))
+        assert memory.read_indexed(descriptor, index).value == index
+
+
+class TestAllocator:
+    def test_alloc_internal(self, memory):
+        allocator = SegmentAllocator(memory, imem_start=64)
+        descriptor = allocator.alloc(16, internal=True)
+        base, length = descriptor.as_segment()
+        assert base == 64 and length == 16
+
+    def test_alloc_external(self, memory):
+        allocator = SegmentAllocator(memory, imem_start=64)
+        descriptor = allocator.alloc(16)
+        base, _ = descriptor.as_segment()
+        assert base >= memory.imem_words
+
+    def test_sequential_allocations_disjoint(self, memory):
+        allocator = SegmentAllocator(memory, imem_start=64)
+        a = allocator.alloc(8, internal=True).as_segment()
+        b = allocator.alloc(8, internal=True).as_segment()
+        assert a[0] + a[1] <= b[0]
+
+    def test_exhaustion(self, memory):
+        allocator = SegmentAllocator(memory, imem_start=64)
+        with pytest.raises(MemoryError_):
+            allocator.alloc(memory.imem_words, internal=True)
+
+    def test_zero_length_rejected(self, memory):
+        allocator = SegmentAllocator(memory, imem_start=64)
+        with pytest.raises(MemoryError_):
+            allocator.alloc(0)
+
+    def test_mark_release(self, memory):
+        allocator = SegmentAllocator(memory, imem_start=64)
+        mark = allocator.mark()
+        allocator.alloc(32, internal=True)
+        free_before = allocator.imem_free
+        allocator.release(mark)
+        assert allocator.imem_free == free_before + 32
+
+    def test_reset(self, memory):
+        allocator = SegmentAllocator(memory, imem_start=64)
+        initial = allocator.imem_free
+        allocator.alloc(32, internal=True)
+        allocator.reset()
+        assert allocator.imem_free == initial
+
+    def test_bad_release_mark(self, memory):
+        allocator = SegmentAllocator(memory, imem_start=64)
+        with pytest.raises(MemoryError_):
+            allocator.release((0, memory.imem_words))

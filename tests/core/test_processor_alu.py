@@ -1,0 +1,237 @@
+"""Instruction-level tests: arithmetic, logic, moves, and tag handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import TypeFault
+from repro.core.faults import AbortFaultPolicy
+from repro.core.registers import Priority
+from repro.core.tags import Tag
+from repro.core.word import Word
+
+from tests.util import globals_segment, load_processor, run_background
+
+
+def run_binop(op: str, a: int, b: int) -> Word:
+    proc, program = load_processor(f"""
+    start:
+        {op} R0, R1, R2
+        HALT
+    """)
+    regs = proc.registers[Priority.BACKGROUND]
+    regs.write("R0", Word.from_int(a))
+    regs.write("R1", Word.from_int(b))
+    run_background(proc, program.entry("start"))
+    return proc.registers[Priority.BACKGROUND].read("R2")
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("ADD", 2, 3, 5),
+        ("ADD", -2, 3, 1),
+        ("SUB", 10, 4, 6),
+        ("SUB", 4, 10, -6),
+        ("MUL", 6, 7, 42),
+        ("MUL", -3, 3, -9),
+        ("DIV", 7, 2, 3),
+        ("DIV", -7, 2, -3),      # C-style truncation
+        ("MOD", 7, 3, 1),
+        ("MOD", -7, 3, -1),      # sign follows dividend
+        ("AND", 0b1100, 0b1010, 0b1000),
+        ("OR", 0b1100, 0b1010, 0b1110),
+        ("XOR", 0b1100, 0b1010, 0b0110),
+        ("ASH", 1, 4, 16),
+        ("ASH", 16, -2, 4),
+        ("ASH", -16, -2, -4),    # arithmetic shift preserves sign
+        ("LSH", 1, 3, 8),
+    ])
+    def test_binop(self, op, a, b, expected):
+        assert run_binop(op, a, b).value == expected
+
+    def test_lsh_right_is_logical(self):
+        result = run_binop("LSH", -16, -28)
+        assert result.value == (-16 & 0xFFFFFFFF) >> 28
+
+    def test_add_wraps_32_bits(self):
+        assert run_binop("ADD", 2**31 - 1, 1).value == -(2**31)
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(TypeFault):
+            run_binop("DIV", 1, 0)
+
+    def test_mod_by_zero_faults(self):
+        with pytest.raises(TypeFault):
+            run_binop("MOD", 1, 0)
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_add_matches_python(self, a, b):
+        assert run_binop("ADD", a, b).value == a + b
+
+    @given(st.integers(-1000, 1000), st.integers(1, 100))
+    def test_divmod_identity(self, a, b):
+        q = run_binop("DIV", a, b).value
+        r = run_binop("MOD", a, b).value
+        assert q * b + r == a
+        assert abs(r) < b
+
+
+class TestCompare:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("EQ", 3, 3, 1), ("EQ", 3, 4, 0),
+        ("NE", 3, 4, 1), ("NE", 3, 3, 0),
+        ("LT", 2, 3, 1), ("LT", 3, 3, 0),
+        ("LE", 3, 3, 1), ("LE", 4, 3, 0),
+        ("GT", 4, 3, 1), ("GT", 3, 3, 0),
+        ("GE", 3, 3, 1), ("GE", 2, 3, 0),
+    ])
+    def test_compare(self, op, a, b, expected):
+        result = run_binop(op, a, b)
+        assert result.tag is Tag.BOOL
+        assert result.value == expected
+
+
+class TestUnary:
+    def test_not(self):
+        proc, program = load_processor("""
+        start:
+            NOT R0, R1
+            HALT
+        """)
+        proc.registers[Priority.BACKGROUND].write("R0", Word.from_int(0))
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R1").value == -1
+
+    def test_neg(self):
+        proc, program = load_processor("""
+        start:
+            NEG R0, R1
+            HALT
+        """)
+        proc.registers[Priority.BACKGROUND].write("R0", Word.from_int(5))
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R1").value == -5
+
+
+class TestMovesAndTags:
+    def test_move_immediate(self):
+        proc, program = load_processor("""
+        start:
+            MOVE #42, R0
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R0").value == 42
+
+    def test_move_memory_roundtrip(self):
+        proc, program = load_processor("""
+        start:
+            MOVE #7, [A0+2]
+            MOVE [A0+2], R1
+            HALT
+        """)
+        globals_segment(proc, program)
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R1").value == 7
+
+    def test_wtag_creates_cfut(self):
+        proc, program = load_processor("""
+        start:
+            WTAG #0, %CFUT, [A0+0]
+            HALT
+        """)
+        base = globals_segment(proc, program)
+        run_background(proc, program.entry("start"))
+        assert proc.memory.peek(base).tag is Tag.CFUT
+
+    def test_rtag_reads_tag_code(self):
+        proc, program = load_processor("""
+        start:
+            RTAG R0, R1
+            HALT
+        """)
+        proc.registers[Priority.BACKGROUND].write("R0", Word.fut())
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R1").value == int(Tag.FUT)
+
+    def test_check_true_and_false(self):
+        proc, program = load_processor("""
+        start:
+            CHECK R0, %CFUT, R1
+            CHECK R0, %INT, R2
+            HALT
+        """)
+        proc.registers[Priority.BACKGROUND].write("R0", Word.cfut())
+        run_background(proc, program.entry("start"))
+        regs = proc.registers[Priority.BACKGROUND]
+        assert regs.read("R1").value == 1
+        assert regs.read("R2").value == 0
+
+    def test_moveid(self):
+        proc, program = load_processor("""
+        start:
+            MOVEID R3
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R3").value == 0
+
+    def test_alu_on_future_faults(self):
+        proc, program = load_processor("""
+        start:
+            ADD R0, #1, R1
+            HALT
+        """, fault_policy=AbortFaultPolicy())
+        proc.registers[Priority.BACKGROUND].write("R0", Word.fut())
+        from repro.core.errors import FutUseFault
+        with pytest.raises(FutUseFault):
+            run_background(proc, program.entry("start"))
+
+    def test_move_of_fut_is_allowed(self):
+        proc, program = load_processor("""
+        start:
+            MOVE R0, R1
+            HALT
+        """, fault_policy=AbortFaultPolicy())
+        proc.registers[Priority.BACKGROUND].write("R0", Word.fut(3))
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R1") == Word.fut(3)
+
+    def test_alu_on_pointer_tag_faults(self):
+        proc, program = load_processor("""
+        start:
+            ADD R0, #1, R1
+            HALT
+        """)
+        proc.registers[Priority.BACKGROUND].write("R0", Word.segment(0, 4))
+        with pytest.raises(TypeFault):
+            run_background(proc, program.entry("start"))
+
+
+class TestCycleCosts:
+    def _cycles(self, source, setup=None):
+        proc, program = load_processor(source)
+        globals_segment(proc, program)
+        if setup:
+            setup(proc)
+        total = run_background(proc, program.entry("start"))
+        return total - 1  # exclude the HALT
+
+    def test_reg_reg_op_is_one_cycle(self):
+        assert self._cycles("start:\n ADD R0, R1, R2\n HALT") == 1
+
+    def test_imem_operand_is_two_cycles(self):
+        assert self._cycles("start:\n ADD [A0+0], R1, R2\n HALT") == 2
+
+    def test_taken_branch_costs_three(self):
+        assert self._cycles("start:\n BR next\nnext: HALT") == 3
+
+    def test_untaken_branch_costs_one(self):
+        assert self._cycles("start:\n BT R0, away\n HALT\naway: HALT") == 1
+
+    def test_mul_costs_two(self):
+        assert self._cycles("start:\n MUL R0, R1, R2\n HALT") == 2
+
+    def test_div_costs_thirteen(self):
+        def setup(proc):
+            proc.registers[Priority.BACKGROUND].write("R1", Word.from_int(1))
+        assert self._cycles("start:\n DIV R0, R1, R2\n HALT", setup) == 13

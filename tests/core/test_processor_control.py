@@ -1,0 +1,171 @@
+"""Instruction-level tests: control flow and the background thread."""
+
+import pytest
+
+from repro.core.errors import IllegalInstructionFault
+from repro.core.registers import Priority
+from repro.core.word import Word
+
+from tests.util import globals_segment, load_processor, run_background
+
+
+class TestBranches:
+    def test_unconditional_branch(self):
+        proc, program = load_processor("""
+        start:
+            BR skip
+            MOVE #1, R0
+        skip:
+            MOVE #2, R1
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        regs = proc.registers[Priority.BACKGROUND]
+        assert regs.read("R0").value == 0
+        assert regs.read("R1").value == 2
+
+    def test_bt_taken_on_nonzero(self):
+        proc, program = load_processor("""
+        start:
+            MOVE #1, R0
+            BT R0, yes
+            MOVE #9, R1
+            HALT
+        yes:
+            MOVE #5, R1
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R1").value == 5
+
+    def test_bf_taken_on_zero(self):
+        proc, program = load_processor("""
+        start:
+            MOVE #0, R0
+            BF R0, yes
+            MOVE #9, R1
+            HALT
+        yes:
+            MOVE #5, R1
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R1").value == 5
+
+    def test_loop_counts_correctly(self):
+        proc, program = load_processor("""
+        start:
+            MOVE #0, R0
+            MOVE #5, R1
+        loop:
+            ADD R0, #2, R0
+            SUB R1, #1, R1
+            BT R1, loop
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        assert proc.registers[Priority.BACKGROUND].read("R0").value == 10
+
+
+class TestCallJmp:
+    def test_call_saves_return_address(self):
+        proc, program = load_processor("""
+        start:
+            CALL sub, R3
+            MOVE #2, R1
+            HALT
+        sub:
+            MOVE #1, R0
+            JMP R3
+        """)
+        run_background(proc, program.entry("start"))
+        regs = proc.registers[Priority.BACKGROUND]
+        assert regs.read("R0").value == 1
+        assert regs.read("R1").value == 2
+
+    def test_nested_calls_with_distinct_link_regs(self):
+        proc, program = load_processor("""
+        start:
+            CALL outer, R3
+            MOVE #100, R0
+            HALT
+        outer:
+            CALL inner, R2
+            ADD R1, #10, R1
+            JMP R3
+        inner:
+            MOVE #1, R1
+            JMP R2
+        """)
+        run_background(proc, program.entry("start"))
+        regs = proc.registers[Priority.BACKGROUND]
+        assert regs.read("R1").value == 11
+        assert regs.read("R0").value == 100
+
+
+class TestHaltAndBackground:
+    def test_halt_stops_node(self):
+        proc, program = load_processor("start:\n HALT")
+        run_background(proc, program.entry("start"))
+        assert proc.halted
+        assert proc.tick(999) is None
+
+    def test_background_suspend_finishes_thread(self):
+        proc, program = load_processor("""
+        start:
+            MOVE #1, R0
+            SUSPEND
+        """)
+        run_background(proc, program.entry("start"))
+        assert not proc.halted
+        assert not proc.has_work()
+
+    def test_missing_instruction_faults(self):
+        proc, _ = load_processor("start:\n NOP\n HALT")
+        proc.set_background(9999)
+        with pytest.raises(IllegalInstructionFault):
+            proc.tick(0)
+
+    def test_nop_executes(self):
+        proc, program = load_processor("start:\n NOP\n NOP\n HALT")
+        cycles = run_background(proc, program.entry("start"))
+        assert proc.counters.instructions == 3
+        assert cycles == 3
+
+    def test_has_work_reflects_background(self):
+        proc, program = load_processor("start:\n HALT")
+        assert not proc.has_work()
+        proc.set_background(program.entry("start"))
+        assert proc.has_work()
+
+
+class TestCounters:
+    def test_instruction_count(self):
+        proc, program = load_processor("""
+        start:
+            MOVE #1, R0
+            ADD R0, R0, R1
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        assert proc.counters.instructions == 3
+
+    def test_compute_category(self):
+        proc, program = load_processor("""
+        start:
+            ADD R0, R0, R1
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        assert proc.counters.compute_cycles == 2
+        assert proc.counters.comm_cycles == 0
+
+    def test_xlate_category(self):
+        proc, program = load_processor("""
+        start:
+            ENTER R0, R1
+            XLATE R0, R2
+            HALT
+        """)
+        run_background(proc, program.entry("start"))
+        assert proc.counters.xlate_cycles == 4 + 3  # enter + xlate hit

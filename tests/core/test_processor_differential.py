@@ -1,0 +1,142 @@
+"""Differential testing: random programs vs an independent evaluator.
+
+Hypothesis generates random straight-line programs over the data
+registers; each runs both on the cycle-accurate MDP and on a
+30-line reference evaluator written directly from the ISA's documented
+semantics.  Any divergence in final register state is a bug in one of
+them — this is the test that guards the ALU against regressions no
+hand-written case covers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.processor import Mdp
+from repro.core.registers import Priority
+from repro.core.word import Word
+from repro.asm.assembler import assemble
+
+REGS = ("R0", "R1", "R2", "R3")
+
+# Operations with total semantics (DIV/MOD excluded: zero divisors are
+# exercised by dedicated tests).
+OPS = ("ADD", "SUB", "MUL", "AND", "OR", "XOR",
+       "EQ", "NE", "LT", "LE", "GT", "GE")
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value > 0x7FFFFFFF else value
+
+
+def _reference(op: str, a: int, b: int) -> int:
+    if op == "ADD":
+        return _signed32(a + b)
+    if op == "SUB":
+        return _signed32(a - b)
+    if op == "MUL":
+        return _signed32(a * b)
+    if op == "AND":
+        return _signed32(a & b)
+    if op == "OR":
+        return _signed32(a | b)
+    if op == "XOR":
+        return _signed32(a ^ b)
+    if op == "EQ":
+        return int(a == b)
+    if op == "NE":
+        return int(a != b)
+    if op == "LT":
+        return int(a < b)
+    if op == "LE":
+        return int(a <= b)
+    if op == "GT":
+        return int(a > b)
+    if op == "GE":
+        return int(a >= b)
+    raise AssertionError(op)
+
+
+instruction = st.tuples(
+    st.sampled_from(OPS),
+    st.sampled_from(REGS),
+    st.one_of(st.sampled_from(REGS),
+              st.integers(-2**31, 2**31 - 1)),
+    st.sampled_from(REGS),
+)
+
+program_strategy = st.tuples(
+    st.lists(instruction, min_size=1, max_size=25),
+    st.lists(st.integers(-2**31, 2**31 - 1), min_size=4, max_size=4),
+)
+
+
+@settings(deadline=None, max_examples=120)
+@given(program_strategy)
+def test_random_programs_match_reference(case):
+    instructions, initial = case
+
+    # Independent evaluation.
+    expected = {reg: value for reg, value in zip(REGS, initial)}
+    for op, src1, src2, dst in instructions:
+        a = expected[src1]
+        b = expected[src2] if isinstance(src2, str) else _signed32(src2)
+        expected[dst] = _reference(op, a, b)
+
+    # The same program through the assembler and the MDP.
+    lines = ["start:"]
+    for op, src1, src2, dst in instructions:
+        operand2 = src2 if isinstance(src2, str) else f"#{src2}"
+        lines.append(f"    {op} {src1}, {operand2}, {dst}")
+    lines.append("    HALT")
+    program = assemble("\n".join(lines))
+
+    proc = Mdp(node_id=0)
+    program.load(proc)
+    regs = proc.registers[Priority.BACKGROUND]
+    for reg, value in zip(REGS, initial):
+        regs.write(reg, Word.from_int(value))
+    proc.set_background(program.entry("start"))
+    now = 0
+    while not proc.halted and now < 100_000:
+        nxt = proc.tick(now)
+        if nxt is None:
+            break
+        now = nxt
+
+    for reg in REGS:
+        assert regs.read(reg).value == expected[reg], (
+            f"{reg} diverged after {instructions}"
+        )
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.lists(st.sampled_from(["ASH", "LSH"]), min_size=1, max_size=8),
+       st.integers(-2**31, 2**31 - 1),
+       st.lists(st.integers(-31, 31), min_size=8, max_size=8))
+def test_shift_chains_match_reference(ops, start, amounts):
+    """Shift semantics: ASH is arithmetic, LSH logical, sign = direction."""
+    expected = _signed32(start)
+    lines = ["start:"]
+    for op, amount in zip(ops, amounts):
+        lines.append(f"    {op} R0, #{amount}, R0")
+        if op == "ASH":
+            expected = _signed32(expected << amount if amount >= 0
+                                 else expected >> -amount)
+        else:
+            unsigned = expected & 0xFFFFFFFF
+            expected = _signed32(unsigned << amount if amount >= 0
+                                 else unsigned >> -amount)
+    lines.append("    HALT")
+    program = assemble("\n".join(lines))
+    proc = Mdp(node_id=0)
+    program.load(proc)
+    regs = proc.registers[Priority.BACKGROUND]
+    regs.write("R0", Word.from_int(start))
+    proc.set_background(program.entry("start"))
+    now = 0
+    while not proc.halted and now < 100_000:
+        nxt = proc.tick(now)
+        if nxt is None:
+            break
+        now = nxt
+    assert regs.read("R0").value == expected

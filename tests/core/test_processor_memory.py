@@ -1,0 +1,90 @@
+"""Tests for memory-placement effects: Imem vs Emem code and data."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.core.processor import Mdp
+from repro.core.registers import Priority
+from repro.core.word import Word
+
+LOOP = """
+start:
+    MOVE #200, R1
+loop:
+    ADD R0, R1, R0
+    SUB R1, #1, R1
+    BT R1, loop
+    HALT
+"""
+
+
+def run_at(base):
+    proc = Mdp(node_id=0)
+    program = assemble(LOOP, base=base)
+    program.load(proc)
+    proc.set_background(program.entry("start"))
+    now = 0
+    while not proc.halted and now < 100_000:
+        nxt = proc.tick(now)
+        if nxt is None:
+            break
+        now = nxt
+    return proc, now
+
+
+class TestCodePlacement:
+    def test_internal_code_is_fast(self):
+        proc, cycles = run_at(base=200)
+        # ~600 instructions in well under 2 cycles each.
+        assert cycles / proc.counters.instructions < 2.0
+
+    def test_external_code_is_slow(self):
+        """Paper: 'fewer than 2 million instructions per second if all
+        code and data are in external memory' — i.e. >6 cycles/instr."""
+        proc, cycles = run_at(base=5000)  # DRAM region starts at 4096
+        assert cycles / proc.counters.instructions >= 4.0
+
+    def test_external_slowdown_matches_mips_ratio(self):
+        """Paper: 5.5 MIPS internal vs <2 MIPS external, a ~2.8x gap."""
+        _, fast = run_at(base=200)
+        _, slow = run_at(base=5000)
+        assert slow / fast == pytest.approx(2.8, abs=0.5)
+
+
+class TestDataPlacement:
+    def _sum_array(self, internal):
+        proc = Mdp(node_id=0)
+        program = assemble("""
+        start:
+            MOVE #0, R0
+            MOVE #16, R1
+        loop:
+            SUB R1, #1, R1
+            ADD R0, [A1+R1], R0
+            BT R1, loop
+            MOVE R0, [A0+0]
+            HALT
+        """)
+        program.load(proc)
+        scratch = program.end + 4
+        array_base = scratch + 8 if internal else proc.memory.imem_words + 8
+        for i in range(16):
+            proc.memory.poke(array_base + i, Word.from_int(i))
+        regs = proc.registers[Priority.BACKGROUND]
+        regs.write("A0", Word.segment(scratch, 4))
+        regs.write("A1", Word.segment(array_base, 16))
+        proc.set_background(program.entry("start"))
+        now = 0
+        while not proc.halted and now < 100_000:
+            nxt = proc.tick(now)
+            if nxt is None:
+                break
+            now = nxt
+        assert proc.memory.peek(scratch).value == sum(range(16))
+        return now
+
+    def test_external_data_slower_by_access_gap(self):
+        internal = self._sum_array(internal=True)
+        external = self._sum_array(internal=False)
+        # 16 accesses at +5 cycles each.
+        assert external - internal == 16 * 5

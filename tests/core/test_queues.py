@@ -1,0 +1,136 @@
+"""Tests for the hardware message queues."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError, QueueOverflowFault
+from repro.core.message import Message
+from repro.core.queues import DEFAULT_QUEUE_WORDS, MIN_MESSAGE_WORDS, MessageQueue
+from repro.core.word import Word
+
+
+def make_message(length=2, dest=0):
+    words = [Word.ip(100)] + [Word.from_int(i) for i in range(length - 1)]
+    return Message(words, source=0, dest=dest)
+
+
+class TestFootprint:
+    def test_minimum_row(self):
+        assert MessageQueue.footprint(make_message(1)) == MIN_MESSAGE_WORDS
+
+    def test_exact_row(self):
+        assert MessageQueue.footprint(make_message(4)) == 4
+
+    def test_rounds_up(self):
+        assert MessageQueue.footprint(make_message(5)) == 8
+
+    def test_two_rows(self):
+        assert MessageQueue.footprint(make_message(8)) == 8
+
+
+class TestCapacity:
+    def test_default_capacity_matches_tuned_j(self):
+        queue = MessageQueue()
+        assert queue.capacity_words == DEFAULT_QUEUE_WORDS == 128 * 4
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MessageQueue(capacity_words=2)
+
+    def test_overflow_raises(self):
+        queue = MessageQueue(capacity_words=8)
+        queue.enqueue(make_message(4))
+        queue.enqueue(make_message(4))
+        with pytest.raises(QueueOverflowFault):
+            queue.enqueue(make_message(1))
+
+    def test_overflow_counted(self):
+        queue = MessageQueue(capacity_words=4)
+        queue.enqueue(make_message(4))
+        with pytest.raises(QueueOverflowFault):
+            queue.enqueue(make_message(4))
+        assert queue.overflows == 1
+
+    def test_would_fit(self):
+        queue = MessageQueue(capacity_words=8)
+        assert queue.would_fit(make_message(8))
+        queue.enqueue(make_message(4))
+        assert queue.would_fit(make_message(4))
+        assert not queue.would_fit(make_message(5))
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        queue = MessageQueue()
+        first = make_message(2)
+        second = make_message(3)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+
+    def test_head_does_not_remove(self):
+        queue = MessageQueue()
+        message = make_message()
+        queue.enqueue(message)
+        assert queue.head() is message
+        assert len(queue) == 1
+
+    def test_head_empty_is_none(self):
+        assert MessageQueue().head() is None
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(QueueOverflowFault):
+            MessageQueue().dequeue()
+
+    def test_dequeue_frees_space(self):
+        queue = MessageQueue(capacity_words=4)
+        queue.enqueue(make_message(4))
+        queue.dequeue()
+        queue.enqueue(make_message(4))  # fits again
+
+    def test_bool_and_len(self):
+        queue = MessageQueue()
+        assert not queue
+        queue.enqueue(make_message())
+        assert queue
+        assert len(queue) == 1
+
+    def test_clear(self):
+        queue = MessageQueue()
+        queue.enqueue(make_message())
+        queue.clear()
+        assert not queue
+        assert queue.used_words == 0
+
+
+class TestStats:
+    def test_high_water(self):
+        queue = MessageQueue()
+        queue.enqueue(make_message(4))
+        queue.enqueue(make_message(4))
+        queue.dequeue()
+        assert queue.high_water == 8
+
+    def test_enqueued_count(self):
+        queue = MessageQueue()
+        for _ in range(3):
+            queue.enqueue(make_message())
+        assert queue.enqueued == 3
+
+
+@given(st.lists(st.integers(min_value=1, max_value=12), max_size=30))
+def test_space_accounting_invariant(lengths):
+    """Used words always equals the sum of enqueued footprints."""
+    queue = MessageQueue(capacity_words=4096)
+    live = []
+    for length in lengths:
+        message = make_message(length)
+        queue.enqueue(message)
+        live.append(message)
+        if len(live) > 3:
+            queue.dequeue()
+            live.pop(0)
+        expected = sum(MessageQueue.footprint(m) for m in live)
+        assert queue.used_words == expected
+        assert queue.free_words == queue.capacity_words - expected

@@ -1,0 +1,80 @@
+"""Tests for the three-set register architecture."""
+
+import pytest
+
+from repro.core.errors import IllegalInstructionFault
+from repro.core.registers import (DATA_REG_NAMES, ADDR_REG_NAMES, Priority,
+                                  RegisterFile, RegisterSet)
+from repro.core.word import NIL, Word
+
+
+class TestRegisterSet:
+    def test_initially_nil(self):
+        regs = RegisterSet()
+        for name in DATA_REG_NAMES + ADDR_REG_NAMES:
+            assert regs.read(name) == NIL
+
+    def test_write_read(self):
+        regs = RegisterSet()
+        regs.write("R2", Word.from_int(5))
+        assert regs.read("R2").value == 5
+
+    def test_unknown_register_read(self):
+        with pytest.raises(IllegalInstructionFault):
+            RegisterSet().read("R9")
+
+    def test_unknown_register_write(self):
+        with pytest.raises(IllegalInstructionFault):
+            RegisterSet().write("B0", NIL)
+
+    def test_snapshot_restore(self):
+        regs = RegisterSet()
+        regs.write("R0", Word.from_int(1))
+        regs.write("A3", Word.segment(10, 4))
+        snapshot = regs.snapshot()
+        regs.clear()
+        assert regs.read("R0") == NIL
+        regs.restore(snapshot)
+        assert regs.read("R0").value == 1
+        assert regs.read("A3") == Word.segment(10, 4)
+
+    def test_restore_wrong_arity(self):
+        with pytest.raises(IllegalInstructionFault):
+            RegisterSet().restore([NIL])
+
+    def test_clear_resets_ip(self):
+        regs = RegisterSet()
+        regs.ip = 100
+        regs.clear()
+        assert regs.ip == 0
+
+
+class TestRegisterFile:
+    def test_three_priority_sets(self):
+        file = RegisterFile()
+        assert len(file.sets) == 3
+
+    def test_sets_are_independent(self):
+        file = RegisterFile()
+        file[Priority.P0].write("R0", Word.from_int(1))
+        file[Priority.P1].write("R0", Word.from_int(2))
+        file[Priority.BACKGROUND].write("R0", Word.from_int(3))
+        assert file[Priority.P0].read("R0").value == 1
+        assert file[Priority.P1].read("R0").value == 2
+        assert file[Priority.BACKGROUND].read("R0").value == 3
+
+    def test_reset_clears_all(self):
+        file = RegisterFile()
+        file[Priority.P0].write("R0", Word.from_int(1))
+        file.reset()
+        assert file[Priority.P0].read("R0") == NIL
+
+
+class TestPriority:
+    def test_priority_values(self):
+        assert int(Priority.P0) == 0
+        assert int(Priority.P1) == 1
+
+    def test_priority_from_int(self):
+        assert Priority(0) is Priority.P0
+        assert Priority(1) is Priority.P1

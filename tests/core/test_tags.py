@@ -1,0 +1,49 @@
+"""Tests for the tag enumeration and trap classifications."""
+
+from repro.core.tags import POINTER_TAGS, TRAP_ON_READ_TAGS, TRAP_ON_USE_TAGS, Tag
+
+
+def test_sixteen_tags():
+    assert len(list(Tag)) == 16
+
+
+def test_tags_fit_in_four_bits():
+    assert all(0 <= int(tag) <= 15 for tag in Tag)
+
+
+def test_tag_codes_unique():
+    assert len({int(tag) for tag in Tag}) == 16
+
+
+def test_cfut_traps_on_read():
+    assert Tag.CFUT in TRAP_ON_READ_TAGS
+
+
+def test_fut_does_not_trap_on_read():
+    assert Tag.FUT not in TRAP_ON_READ_TAGS
+
+
+def test_both_futures_trap_on_use():
+    assert Tag.CFUT in TRAP_ON_USE_TAGS
+    assert Tag.FUT in TRAP_ON_USE_TAGS
+
+
+def test_int_never_traps():
+    assert Tag.INT not in TRAP_ON_USE_TAGS
+    assert Tag.INT not in TRAP_ON_READ_TAGS
+
+
+def test_is_future_helper():
+    assert Tag.CFUT.is_future()
+    assert Tag.FUT.is_future()
+    assert not Tag.ADDR.is_future()
+
+
+def test_pointer_tags_include_addr_and_ip():
+    assert Tag.ADDR in POINTER_TAGS
+    assert Tag.IP in POINTER_TAGS
+    assert Tag.INT not in POINTER_TAGS
+
+
+def test_user_tags_exist():
+    assert {Tag.USER0, Tag.USER1, Tag.USER2, Tag.USER3} <= set(Tag)

@@ -1,0 +1,122 @@
+"""Tests for the instruction tracer."""
+
+import pytest
+
+from repro.core.message import Message
+from repro.core.trace import Tracer
+from repro.core.word import Word
+
+from tests.util import load_processor, run_background
+
+
+def test_records_instructions_in_order():
+    proc, program = load_processor("""
+    start:
+        MOVE #1, R0
+        ADD R0, R0, R1
+        HALT
+    """)
+    tracer = Tracer.attach(proc)
+    run_background(proc, program.entry("start"))
+    ops = [e.detail.split()[0] for e in tracer.instructions()]
+    assert ops == ["MOVE", "ADD", "HALT"]
+
+
+def test_event_timestamps_monotone():
+    proc, program = load_processor("""
+    start:
+        MOVE #3, R1
+    loop:
+        SUB R1, #1, R1
+        BT R1, loop
+        HALT
+    """)
+    tracer = Tracer.attach(proc)
+    run_background(proc, program.entry("start"))
+    cycles = [e.cycle for e in tracer.events]
+    assert cycles == sorted(cycles)
+
+
+def test_records_dispatch_events():
+    proc, program = load_processor("""
+    handler:
+        SUSPEND
+    """)
+    tracer = Tracer.attach(proc)
+    proc.deliver(Message.build(program.entry("handler"), [], 0, 0), 0)
+    now = 0
+    while proc.has_work():
+        nxt = proc.tick(now)
+        if nxt is None:
+            break
+        now = nxt
+    kinds = [e.kind for e in tracer.events]
+    assert "dispatch" in kinds
+
+
+def test_limit_drops_and_reports():
+    proc, program = load_processor("""
+    start:
+        MOVE #50, R1
+    loop:
+        SUB R1, #1, R1
+        BT R1, loop
+        HALT
+    """)
+    tracer = Tracer.attach(proc, limit=10)
+    run_background(proc, program.entry("start"))
+    assert len(tracer.events) == 10
+    assert tracer.dropped > 0
+    assert "dropped" in tracer.format()
+
+
+def test_predicate_filters_instructions():
+    proc, program = load_processor("""
+    start:
+        MOVE #1, R0
+        ADD R0, R0, R1
+        MOVE R1, R2
+        HALT
+    """)
+    tracer = Tracer.attach(proc, predicate=lambda i: i.op == "MOVE")
+    run_background(proc, program.entry("start"))
+    ops = {e.detail.split()[0] for e in tracer.instructions()}
+    assert ops == {"MOVE"}
+
+
+def test_detach_stops_recording():
+    proc, program = load_processor("""
+    start:
+        MOVE #1, R0
+        HALT
+    """)
+    tracer = Tracer.attach(proc)
+    tracer.detach()
+    run_background(proc, program.entry("start"))
+    assert tracer.events == []
+
+
+def test_format_renders_lines():
+    proc, program = load_processor("start:\n NOP\n HALT")
+    tracer = Tracer.attach(proc)
+    run_background(proc, program.entry("start"))
+    text = tracer.format()
+    assert "NOP" in text
+    assert "n0" in text
+
+
+def test_tracing_does_not_change_timing():
+    source = """
+    start:
+        MOVE #20, R1
+    loop:
+        SUB R1, #1, R1
+        BT R1, loop
+        HALT
+    """
+    plain, program = load_processor(source)
+    baseline = run_background(plain, program.entry("start"))
+    traced, program2 = load_processor(source)
+    Tracer.attach(traced)
+    timed = run_background(traced, program2.entry("start"))
+    assert timed == baseline

@@ -1,0 +1,240 @@
+"""Tests for the CST object layer."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.cst import CstObject, CstRuntime, method
+from repro.jsim.sim import MacroSimulator
+
+
+class Counter(CstObject):
+    def setup(self, ctx, start=0):
+        self.count = start
+        ctx.charge(instructions=3)
+
+    @method
+    def increment(self, ctx, amount=1):
+        ctx.charge(instructions=4)
+        self.count += amount
+        return self.count
+
+    @method
+    def read(self, ctx):
+        ctx.charge(instructions=2)
+        return self.count
+
+    def helper(self, ctx):  # not decorated: not invocable
+        return None
+
+
+class Recorder(CstObject):
+    def setup(self, ctx):
+        self.seen = []
+
+    @method
+    def note(self, ctx, value):
+        ctx.charge(instructions=2)
+        self.seen.append(value)
+        return len(self.seen)
+
+
+def build():
+    sim = MacroSimulator(8)
+    runtime = CstRuntime(sim)
+    return sim, runtime
+
+
+class TestLifecycle:
+    def test_create_places_object_on_home_node(self):
+        sim, runtime = build()
+        counter_id = runtime.create(Counter, home=5)
+        assert runtime.directory[counter_id][0] == 5
+        assert counter_id in sim.nodes[5].state["_cst_objects"]
+
+    def test_setup_runs_on_home_node(self):
+        sim, runtime = build()
+        counter_id = runtime.create(Counter, home=3)
+        runtime.setup_object(counter_id, 10)
+        sim.run()
+        instance = sim.nodes[3].state["_cst_objects"][counter_id]
+        assert instance.count == 10
+
+    def test_non_cst_class_rejected(self):
+        _, runtime = build()
+        with pytest.raises(Exception):
+            runtime.register_class(int)
+
+
+class TestInvocation:
+    def _invoke_chain(self, home):
+        sim, runtime = build()
+        counter_id = runtime.create(Counter, home=home)
+        runtime.setup_object(counter_id, 0)
+        driver_id = runtime.create(Recorder, home=0)
+        runtime.setup_object(driver_id)
+
+        # A kick handler on node 0 invokes the counter three times and
+        # records the final value via a continuation.
+        def kick(ctx):
+            runtime.call(ctx, counter_id, "increment", 5)
+            runtime.call(ctx, counter_id, "increment", 7)
+            future = runtime.call(ctx, counter_id, "read")
+            runtime.when(future, ctx, driver_id, "note")
+
+        sim.register("kick", kick)
+        sim.inject(0, "kick", at=10)
+        sim.run()
+        return sim, runtime, counter_id, driver_id
+
+    def test_remote_invocation_mutates_object(self):
+        sim, runtime, counter_id, _ = self._invoke_chain(home=7)
+        instance = sim.nodes[7].state["_cst_objects"][counter_id]
+        assert instance.count == 12
+
+    def test_local_invocation_still_a_message(self):
+        sim, runtime, counter_id, _ = self._invoke_chain(home=0)
+        assert sim.handler_stats["CstCall"].invocations >= 3
+
+    def test_continuation_receives_value(self):
+        sim, runtime, _, driver_id = self._invoke_chain(home=7)
+        recorder = sim.nodes[0].state["_cst_objects"][driver_id]
+        # FIFO per pair: read follows both increments.
+        assert recorder.seen == [12]
+
+    def test_calls_charge_xlates(self):
+        sim, runtime, _, _ = self._invoke_chain(home=7)
+        total_xlates = sum(node.profile.xlate_count for node in sim.nodes)
+        assert total_xlates >= 6  # caller + callee per invocation
+
+    def test_unknown_method_raises(self):
+        sim, runtime = build()
+        counter_id = runtime.create(Counter, home=1)
+
+        def kick(ctx):
+            runtime.call(ctx, counter_id, "helper")
+
+        sim.register("kick", kick)
+        sim.inject(0, "kick")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unknown_object_raises(self):
+        sim, runtime = build()
+
+        def kick(ctx):
+            runtime.call(ctx, 999, "read")
+
+        sim.register("kick", kick)
+        sim.inject(0, "kick")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestDistributedState:
+    def test_objects_on_different_nodes_are_independent(self):
+        sim, runtime = build()
+        ids = [runtime.create(Counter, home=n) for n in range(4)]
+        for object_id in ids:
+            runtime.setup_object(object_id, 0)
+
+        def kick(ctx):
+            for i, object_id in enumerate(ids):
+                runtime.call(ctx, object_id, "increment", i + 1)
+
+        sim.register("kick", kick)
+        sim.inject(0, "kick", at=5)
+        sim.run()
+        counts = [
+            sim.nodes[n].state["_cst_objects"][object_id].count
+            for n, object_id in enumerate(ids)
+        ]
+        assert counts == [1, 2, 3, 4]
+
+    def test_resolved_future_fires_immediate_continuation(self):
+        sim, runtime = build()
+        counter_id = runtime.create(Counter, home=2)
+        runtime.setup_object(counter_id, 41)
+        recorder_id = runtime.create(Recorder, home=0)
+        runtime.setup_object(recorder_id)
+        holder = {}
+
+        def kick(ctx):
+            holder["future"] = runtime.call(ctx, counter_id, "increment")
+
+        def late(ctx):
+            runtime.when(holder["future"], ctx, recorder_id, "note")
+
+        sim.register("kick", kick)
+        sim.register("late", late)
+        sim.inject(0, "kick", at=0)
+        sim.inject(0, "late", at=5000)  # well after the reply lands
+        sim.run()
+        recorder = sim.nodes[0].state["_cst_objects"][recorder_id]
+        assert recorder.seen == [42]
+
+
+class TestMigration:
+    def _setup(self):
+        sim = MacroSimulator(8)
+        runtime = CstRuntime(sim)
+        counter_id = runtime.create(Counter, home=1)
+        runtime.setup_object(counter_id, 100)
+        return sim, runtime, counter_id
+
+    def test_migrated_object_serves_calls_at_new_home(self):
+        sim, runtime, counter_id = self._setup()
+
+        def mover(ctx):
+            runtime.migrate(ctx, counter_id, 6)
+
+        def caller(ctx):
+            runtime.call(ctx, counter_id, "increment", 5)
+
+        sim.register("mover", mover)
+        sim.register("caller", caller)
+        sim.inject(1, "mover", at=100)
+        sim.inject(0, "caller", at=5000)
+        sim.run()
+        instance = sim.nodes[6].state["_cst_objects"][counter_id]
+        assert instance.count == 105
+        assert counter_id not in sim.nodes[1].state["_cst_objects"]
+
+    def test_directory_updated(self):
+        sim, runtime, counter_id = self._setup()
+        sim.register("mover",
+                     lambda ctx: runtime.migrate(ctx, counter_id, 3))
+        sim.inject(1, "mover", at=100)  # after setup lands
+        sim.run()
+        assert runtime.directory[counter_id][0] == 3
+
+    def test_migrate_requires_home_node(self):
+        sim, runtime, counter_id = self._setup()
+        sim.register("mover",
+                     lambda ctx: runtime.migrate(ctx, counter_id, 3))
+        sim.inject(5, "mover", at=100)  # not the home node
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_migrate_to_invalid_node(self):
+        sim, runtime, counter_id = self._setup()
+        sim.register("mover",
+                     lambda ctx: runtime.migrate(ctx, counter_id, 99))
+        sim.inject(1, "mover", at=100)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_state_survives_migration(self):
+        sim, runtime, counter_id = self._setup()
+
+        def script(ctx):
+            runtime.call(ctx, counter_id, "increment", 1)
+
+        sim.register("bump", script)
+        sim.register("mover",
+                     lambda ctx: runtime.migrate(ctx, counter_id, 7))
+        sim.inject(0, "bump", at=0)
+        sim.inject(1, "mover", at=4000)
+        sim.inject(0, "bump", at=8000)
+        sim.run()
+        instance = sim.nodes[7].state["_cst_objects"][counter_id]
+        assert instance.count == 102

@@ -1,0 +1,128 @@
+"""Tests for the handler Context API surface."""
+
+import pytest
+
+from repro.jsim.sim import MacroConfig, MacroSimulator
+
+
+def test_node_identity_properties():
+    sim = MacroSimulator(8)
+    seen = {}
+
+    def h(ctx):
+        seen["node"] = ctx.node_id
+        seen["n"] = ctx.n_nodes
+
+    sim.register("h", h)
+    sim.inject(5, "h")
+    sim.run()
+    assert seen == {"node": 5, "n": 8}
+
+
+def test_state_is_per_node_and_persistent():
+    sim = MacroSimulator(2)
+
+    def first(ctx):
+        ctx.state["x"] = ctx.node_id * 10
+
+    def second(ctx, out):
+        out[ctx.node_id] = ctx.state.get("x")
+
+    results = {}
+    sim.register("first", first)
+    sim.register("second", lambda ctx: second(ctx, results))
+    for node in (0, 1):
+        sim.inject(node, "first", at=0)
+        sim.inject(node, "second", at=1000)
+    sim.run()
+    assert results == {0: 0, 1: 10}
+
+
+def test_call_local_goes_through_the_network():
+    sim = MacroSimulator(4)
+    times = {}
+
+    def a(ctx):
+        times["sent"] = ctx.now
+        ctx.call_local("b")
+
+    def b(ctx):
+        times["ran"] = ctx.now
+
+    sim.register("a", a)
+    sim.register("b", b)
+    sim.inject(0, "a")
+    sim.run()
+    # Even a self-call pays interface + dispatch time.
+    assert times["ran"] > times["sent"] + 5
+
+
+def test_default_message_length_counts_args():
+    sim = MacroSimulator(2)
+    sim.register("sink", lambda ctx, a, b, c: None)
+    sim.register("kick", lambda ctx: ctx.send(1, "sink", 1, 2, 3))
+    sim.inject(0, "kick")
+    sim.run()
+    assert sim.handler_stats["sink"].mean_message_words == 4
+
+
+def test_explicit_length_overrides():
+    sim = MacroSimulator(2)
+    sim.register("sink", lambda ctx: None)
+    sim.register("kick", lambda ctx: ctx.send(1, "sink", length=9))
+    sim.inject(0, "kick")
+    sim.run()
+    assert sim.handler_stats["sink"].mean_message_words == 9
+
+
+def test_longer_messages_cost_more_to_send():
+    costs = {}
+    for length in (2, 16):
+        sim = MacroSimulator(2)
+        sim.register("sink", lambda ctx: None)
+
+        def kick(ctx, _length=length):
+            ctx.send(1, "sink", length=_length)
+
+        sim.register("kick", kick)
+        sim.inject(0, "kick")
+        sim.run()
+        costs[length] = sim.nodes[0].profile.comm
+    assert costs[16] > costs[2]
+
+
+def test_inject_at_time():
+    sim = MacroSimulator(2)
+    arrivals = []
+    sim.register("h", lambda ctx: arrivals.append(ctx.now))
+    sim.inject(0, "h", at=0)
+    sim.inject(0, "h", at=5000)
+    sim.run()
+    assert arrivals[1] - arrivals[0] >= 4000
+
+
+def test_charge_requires_known_category():
+    sim = MacroSimulator(2)
+
+    def h(ctx):
+        ctx.charge(cycles=5, category="mystery")
+
+    sim.register("h", h)
+    sim.inject(0, "h")
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_now_reflects_charges_not_wall():
+    sim = MacroSimulator(2)
+    observed = {}
+
+    def h(ctx):
+        start = ctx.now
+        ctx.charge(cycles=123)
+        observed["delta"] = ctx.now - start
+
+    sim.register("h", h)
+    sim.inject(0, "h")
+    sim.run()
+    assert observed["delta"] == 123

@@ -1,0 +1,62 @@
+"""Tests for the analytic contention network model."""
+
+from repro.jsim.netmodel import LatencyModel
+from repro.network.topology import Mesh3D
+
+
+def model(dims=(4, 4, 4)):
+    return LatencyModel(Mesh3D(*dims))
+
+
+def test_latency_grows_with_distance():
+    m = model()
+    near = m.latency(0, 1, 4, now=0)
+    far = m.latency(0, 63, 4, now=0)
+    assert far > near
+
+
+def test_latency_grows_with_length():
+    m = model()
+    short = m.latency(0, 1, 2, now=0)
+    long_ = m.latency(0, 1, 16, now=0)
+    assert long_ == short + 28  # 14 extra words at 2 cycles each
+
+
+def test_self_message_cheapest():
+    m = model()
+    assert m.latency(0, 0, 2, now=0) <= m.latency(0, 1, 2, now=0)
+
+
+def test_contention_raises_crossing_latency():
+    quiet = model()
+    baseline = quiet.latency(0, 3, 8, now=0)
+    busy = model()
+    # Saturate the meter with crossing traffic.
+    for i in range(3000):
+        busy.latency(0, 3, 8, now=i // 4)
+    loaded = busy.latency(0, 3, 8, now=750)
+    assert loaded > baseline
+
+
+def test_noncrossing_traffic_mostly_unaffected():
+    busy = model()
+    for i in range(3000):
+        busy.latency(0, 3, 8, now=i // 4)
+    local = busy.latency(0, 1, 8, now=750)
+    crossing = busy.latency(0, 3, 8, now=750)
+    assert local < crossing
+
+
+def test_saturation_queues_messages():
+    """Offered load beyond capacity produces growing queueing delay."""
+    m = model((2, 2, 1))  # tiny bisection
+    delays = [m.latency(0, 1, 16, now=0) for _ in range(50)]
+    assert delays[-1] > delays[0]
+
+
+def test_counts_crossing_messages():
+    m = model()
+    m.latency(0, 1, 4, now=0)   # same side
+    m.latency(0, 3, 4, now=0)   # crosses
+    assert m.messages == 2
+    assert m.crossing_messages == 1

@@ -1,0 +1,63 @@
+"""Tests for the Figure 6 profiling structure."""
+
+import pytest
+
+from repro.jsim.profile import CATEGORIES, Profile
+
+
+def test_charge_accumulates():
+    profile = Profile()
+    profile.charge("compute", 10)
+    profile.charge("compute", 5)
+    assert profile.compute == 15
+
+
+def test_unknown_category_rejected():
+    with pytest.raises(ValueError):
+        Profile().charge("naps", 10)
+
+
+def test_busy_sums_all_categories():
+    profile = Profile()
+    for i, category in enumerate(CATEGORIES, start=1):
+        profile.charge(category, i)
+    assert profile.busy == sum(range(1, len(CATEGORIES) + 1))
+
+
+def test_breakdown_includes_idle():
+    profile = Profile()
+    profile.charge("compute", 30)
+    profile.charge("comm", 20)
+    breakdown = profile.breakdown(wall_cycles=100)
+    assert breakdown["compute"] == pytest.approx(0.3)
+    assert breakdown["comm"] == pytest.approx(0.2)
+    assert breakdown["idle"] == pytest.approx(0.5)
+
+
+def test_breakdown_zero_wall():
+    breakdown = Profile().breakdown(0)
+    assert breakdown["idle"] == 0.0
+
+
+def test_idle_never_negative():
+    profile = Profile()
+    profile.charge("compute", 200)
+    assert profile.breakdown(100)["idle"] == 0.0
+
+
+def test_merge_combines_everything():
+    a = Profile()
+    a.charge("compute", 10)
+    a.instructions = 5
+    a.xlate_count = 2
+    b = Profile()
+    b.charge("compute", 7)
+    b.charge("sync", 3)
+    b.instructions = 1
+    b.xlate_faults = 4
+    a.merge(b)
+    assert a.compute == 17
+    assert a.sync == 3
+    assert a.instructions == 6
+    assert a.xlate_count == 2
+    assert a.xlate_faults == 4

@@ -1,0 +1,248 @@
+"""Tests for the event-driven macro simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.jsim.sim import MacroConfig, MacroSimulator
+
+
+def test_register_and_run_single_handler():
+    sim = MacroSimulator(4)
+    seen = []
+    sim.register("h", lambda ctx: seen.append(ctx.node_id))
+    sim.inject(2, "h")
+    sim.run()
+    assert seen == [2]
+
+
+def test_duplicate_registration_rejected():
+    sim = MacroSimulator(2)
+    sim.register("h", lambda ctx: None)
+    with pytest.raises(ConfigurationError):
+        sim.register("h", lambda ctx: None)
+
+
+def test_unknown_handler_rejected():
+    sim = MacroSimulator(2)
+    with pytest.raises(SimulationError):
+        sim.inject(0, "nope")
+
+
+def test_bad_destination_rejected():
+    sim = MacroSimulator(2)
+    sim.register("h", lambda ctx: None)
+    with pytest.raises(SimulationError):
+        sim.inject(5, "h")
+
+
+def test_decorator_registration():
+    sim = MacroSimulator(2)
+
+    @sim.handler("h")
+    def h(ctx):
+        ctx.charge(instructions=1)
+
+    sim.inject(0, "h")
+    assert sim.run() > 0
+
+
+class TestTiming:
+    def test_charge_advances_task_time(self):
+        sim = MacroSimulator(2)
+        times = []
+
+        def h(ctx):
+            times.append(ctx.now)
+            ctx.charge(cycles=100)
+            times.append(ctx.now)
+
+        sim.register("h", h)
+        sim.inject(0, "h")
+        sim.run()
+        assert times[1] - times[0] == 100
+
+    def test_dispatch_cost_applied(self):
+        sim = MacroSimulator(2)
+        start_times = []
+        sim.register("h", lambda ctx: start_times.append(ctx.now))
+        sim.inject(0, "h", at=0)
+        sim.run()
+        # arrival latency + 4-cycle dispatch before the handler starts
+        assert start_times[0] >= sim.config.dispatch_cycles
+
+    def test_node_serializes_tasks(self):
+        sim = MacroSimulator(2)
+        spans = []
+
+        def h(ctx):
+            start = ctx.now
+            ctx.charge(cycles=50)
+            spans.append((start, ctx.now))
+
+        sim.register("h", h)
+        sim.inject(0, "h")
+        sim.inject(0, "h")
+        sim.run()
+        (s1, e1), (s2, e2) = sorted(spans)
+        assert s2 >= e1  # no overlap on one node
+
+    def test_parallel_nodes_overlap(self):
+        sim = MacroSimulator(2)
+        spans = []
+
+        def h(ctx):
+            start = ctx.now
+            ctx.charge(cycles=1000)
+            spans.append((ctx.node_id, start, ctx.now))
+
+        sim.register("h", h)
+        sim.inject(0, "h")
+        sim.inject(1, "h")
+        end = sim.run()
+        assert end < 2000 + 100  # ran concurrently, not serialized
+
+    def test_latency_grows_with_distance(self):
+        sim = MacroSimulator(64)
+        arrivals = {}
+
+        def h(ctx, tag):
+            arrivals[tag] = ctx.now
+
+        sim.register("h", h)
+        sim.register("kick", lambda ctx: (ctx.send(1, "h", "near"),
+                                          ctx.send(63, "h", "far")))
+        sim.inject(0, "kick")
+        sim.run()
+        assert arrivals["far"] > arrivals["near"]
+
+
+class TestPriorities:
+    def test_priority_one_served_first(self):
+        sim = MacroSimulator(2)
+        order = []
+
+        def busy(ctx):
+            ctx.charge(cycles=500)
+
+        sim.register("busy", busy)
+        sim.register("p0", lambda ctx: order.append("p0"))
+        sim.register("p1", lambda ctx: order.append("p1"))
+        sim.inject(0, "busy", at=0)
+        # Both queued while the node is busy; P1 must be served first
+        # even though P0 arrived earlier.
+        sim.inject(0, "p0", at=10)
+        sim.inject(0, "p1", at=20, priority=1)
+        sim.run()
+        assert order == ["p1", "p0"]
+
+
+class TestAccounting:
+    def test_profile_categories(self):
+        sim = MacroSimulator(2)
+
+        def h(ctx):
+            ctx.charge(instructions=10)
+            ctx.xlate(5)
+            ctx.nnr(2)
+            ctx.sync(30)
+
+        sim.register("h", h)
+        sim.inject(0, "h")
+        sim.run()
+        profile = sim.nodes[0].profile
+        assert profile.compute == 20     # 10 instr at 2 cycles each
+        assert profile.xlate == 15       # 5 xlates at 3 cycles
+        assert profile.nnr == 12
+        assert profile.sync == 30
+        assert profile.instructions == 10
+        assert profile.xlate_count == 5
+
+    def test_xlate_fault_costs_more(self):
+        sim = MacroSimulator(2)
+
+        def h(ctx):
+            ctx.xlate(1, fault=True)
+
+        sim.register("h", h)
+        sim.inject(0, "h")
+        sim.run()
+        profile = sim.nodes[0].profile
+        assert profile.xlate == sim.config.xlate_fault_cycles
+        assert profile.xlate_faults == 1
+
+    def test_handler_stats(self):
+        sim = MacroSimulator(2)
+
+        def h(ctx, value):
+            ctx.charge(instructions=7)
+
+        sim.register("h", h)
+        sim.register("kick",
+                     lambda ctx: [ctx.send(1, "h", i, length=3)
+                                  for i in range(4)])
+        sim.inject(0, "kick")
+        sim.run()
+        stats = sim.handler_stats["h"]
+        assert stats.invocations == 4
+        assert stats.instructions_per_thread == 7
+        assert stats.mean_message_words == 3  # declared length wins
+
+    def test_breakdown_fractions_sum_at_most_one(self):
+        sim = MacroSimulator(4)
+
+        def h(ctx, depth):
+            ctx.charge(instructions=100)
+            if depth:
+                ctx.send((ctx.node_id + 1) % 4, "h", depth - 1)
+
+        sim.register("h", h)
+        sim.inject(0, "h", 20)
+        sim.run()
+        breakdown = sim.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_send_charges_comm(self):
+        sim = MacroSimulator(2)
+        sim.register("noop", lambda ctx: None)
+
+        def h(ctx):
+            ctx.send(1, "noop", length=8)
+
+        sim.register("h", h)
+        sim.inject(0, "h")
+        sim.run()
+        # send overhead = 4 + 0.5 * 8 = 8, plus the dispatch charge of 4.
+        assert sim.nodes[0].profile.comm == 12
+
+
+class TestConfig:
+    def test_custom_cpi(self):
+        sim = MacroSimulator(2, config=MacroConfig(cycles_per_instruction=3.0))
+        sim.register("h", lambda ctx: ctx.charge(instructions=10))
+        sim.inject(0, "h")
+        sim.run()
+        assert sim.nodes[0].profile.compute == 30
+
+    def test_mesh_mismatch_rejected(self):
+        from repro.network.topology import Mesh3D
+        with pytest.raises(ConfigurationError):
+            MacroSimulator(8, mesh=Mesh3D(2, 1, 1))
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(1, 40), st.integers(2, 16))
+def test_relay_conserves_messages(hops, n_nodes):
+    """A relay chain of k hops invokes the handler exactly k+1 times."""
+    sim = MacroSimulator(n_nodes)
+
+    def relay(ctx, remaining):
+        ctx.charge(instructions=5)
+        if remaining:
+            ctx.send((ctx.node_id + 1) % n_nodes, "relay", remaining - 1)
+
+    sim.register("relay", relay)
+    sim.inject(0, "relay", hops)
+    sim.run()
+    assert sim.handler_stats["relay"].invocations == hops + 1
+    assert sim.messages_sent == hops + 1

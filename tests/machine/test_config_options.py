@@ -1,0 +1,64 @@
+"""Tests that machine-level options reach the right components."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.machine.config import MachineConfig
+from repro.machine.jmachine import JMachine
+
+
+def test_arbitration_reaches_fabric():
+    machine = JMachine(MachineConfig(dims=(2, 2, 1),
+                                     arbitration="round_robin"))
+    assert machine.fabric.arbitration == "round_robin"
+
+
+def test_flow_control_reaches_fabric():
+    machine = JMachine(MachineConfig(dims=(2, 2, 1),
+                                     flow_control="return_to_sender"))
+    assert machine.fabric.flow_control == "return_to_sender"
+
+
+def test_bad_arbitration_rejected_at_build():
+    with pytest.raises(ConfigurationError):
+        JMachine(MachineConfig(dims=(2, 2, 1), arbitration="lottery"))
+
+
+def test_spill_reaches_every_processor():
+    machine = JMachine(MachineConfig(dims=(2, 2, 1),
+                                     queue_overflow_spills=True))
+    assert all(node.proc.spill_enabled for node in machine.nodes)
+
+
+def test_node_tlb_present_only_when_enabled():
+    plain = JMachine(MachineConfig(dims=(2, 2, 1)))
+    assert all(node.interface.node_tlb is None for node in plain.nodes)
+    translated = JMachine(MachineConfig(dims=(2, 2, 1),
+                                        auto_node_translation=True))
+    assert all(node.interface.node_tlb is not None
+               for node in translated.nodes)
+
+
+def test_node_tlb_identity_by_default():
+    machine = JMachine(MachineConfig(dims=(2, 2, 1),
+                                     auto_node_translation=True))
+    tlb = machine.node(0).interface.node_tlb
+    assert [tlb.translate(i) for i in range(4)] == [0, 1, 2, 3]
+
+
+def test_custom_costs_reach_processors():
+    from repro.core.costs import CostModel
+    costs = CostModel().with_overrides(dispatch=9)
+    machine = JMachine(MachineConfig(dims=(2, 1, 1), costs=costs))
+    assert machine.node(0).proc.costs.dispatch == 9
+
+
+def test_queue_words_reach_queues():
+    machine = JMachine(MachineConfig(dims=(2, 1, 1), queue_words=64))
+    from repro.core.registers import Priority
+    assert machine.node(0).proc.queues[Priority.P0].capacity_words == 64
+
+
+def test_for_nodes_builder():
+    machine = JMachine(MachineConfig.for_nodes(32, queue_words=64))
+    assert machine.mesh.n_nodes == 32

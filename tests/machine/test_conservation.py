@@ -1,0 +1,74 @@
+"""Machine-level conservation properties under random host traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm.assembler import assemble
+from repro.core.registers import Priority
+from repro.core.word import Word
+from repro.machine.config import MachineConfig
+from repro.machine.jmachine import JMachine
+
+COUNTER = """
+count:
+    ADD [A0+0], #1, R0
+    MOVE R0, [A0+0]
+    SUSPEND
+"""
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+def test_every_injected_message_is_handled_exactly_once(destinations):
+    """N host messages produce exactly N completed threads, each on the
+    node it was addressed to."""
+    machine = JMachine(MachineConfig(dims=(2, 2, 2)))
+    program = assemble(COUNTER)
+    machine.load(program)
+    base = program.end + 4
+    for node in machine.nodes:
+        node.proc.registers[Priority.P0].write("A0", Word.segment(base, 2))
+    for dest in destinations:
+        machine.inject(dest, program.entry("count"))
+    machine.run(max_cycles=500_000)
+
+    per_node = [machine.node(n).proc.memory.peek(base).value
+                for n in range(8)]
+    expected = [destinations.count(n) for n in range(8)]
+    assert per_node == expected
+    total_threads = sum(machine.node(n).proc.counters.threads_completed
+                        for n in range(8))
+    assert total_threads == len(destinations)
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(2, 30))
+def test_relay_chain_conserves_across_machine(chain_length):
+    """A relay that hops a counter across nodes increments it exactly
+    once per hop, regardless of chain length."""
+    machine = JMachine(MachineConfig(dims=(2, 2, 2)))
+    program = assemble("""
+    hop:
+        MOVE  [A3+1], R0       ; hops remaining
+        BF    R0, stop
+        SUB   R0, #1, R0
+        MOVEID R1
+        ADD   R1, #1, R1
+        AND   R1, #7, R1       ; next node mod 8
+        SEND  R1
+        SEND2E #IP:hop, R0
+        SUSPEND
+    stop:
+        MOVE #1, [A0+0]
+        SUSPEND
+    """)
+    machine.load(program)
+    base = program.end + 4
+    for node in machine.nodes:
+        node.proc.registers[Priority.P0].write("A0", Word.segment(base, 2))
+    machine.inject(0, program.entry("hop"), [Word.from_int(chain_length)])
+    machine.run(max_cycles=500_000)
+    total_threads = sum(machine.node(n).proc.counters.threads_completed
+                        for n in range(8))
+    assert total_threads == chain_length + 1
+    finisher = machine.node(chain_length % 8).proc
+    assert finisher.memory.peek(base).value == 1

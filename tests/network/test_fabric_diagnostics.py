@@ -1,0 +1,113 @@
+"""Tests for the fabric's diagnostics: channel load and the watchdog."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.message import Message
+from repro.core.word import Word
+from repro.network.fabric import Fabric
+from repro.network.routing import INJECT
+from repro.network.topology import Mesh3D
+
+
+def _message(src, dst, length=2):
+    words = [Word.ip(1)] + [Word.from_int(0)] * (length - 1)
+    return Message(words, source=src, dest=dst)
+
+
+def _run(fabric, limit=20_000):
+    now = 0
+    while fabric.active and now < limit:
+        fabric.step(now)
+        now += 1
+    return now
+
+
+class TestChannelLoad:
+    def test_off_by_default(self):
+        fabric = Fabric(Mesh3D(4, 1, 1), lambda n, m: True,
+                        lambda n, m, t: None)
+        fabric.send(_message(0, 3), 0)
+        _run(fabric)
+        assert fabric.channel_phits == {}
+
+    def test_counts_every_path_channel(self):
+        fabric = Fabric(Mesh3D(4, 1, 1), lambda n, m: True,
+                        lambda n, m, t: None)
+        fabric.track_channel_load = True
+        fabric.send(_message(0, 3, length=2), 0)
+        _run(fabric)
+        # 3 hops, each crossed by 2*2+2 = 6 phits.
+        assert len(fabric.channel_phits) == 3
+        assert all(v == 6 for v in fabric.channel_phits.values())
+
+    def test_mesh_channels_only(self):
+        fabric = Fabric(Mesh3D(2, 2, 2), lambda n, m: True,
+                        lambda n, m, t: None)
+        fabric.track_channel_load = True
+        fabric.send(_message(0, 7), 0)
+        _run(fabric)
+        assert all(dim < INJECT for (_, dim, _) in fabric.channel_phits)
+
+    def test_ecube_concentrates_load_in_x(self):
+        """Uniform random traffic loads X channels hardest (e-cube
+        corrects X first, so X carries every misrouted dimension)."""
+        import random
+        fabric = Fabric(Mesh3D(4, 4, 4), lambda n, m: True,
+                        lambda n, m, t: None)
+        fabric.track_channel_load = True
+        rng = random.Random(11)
+        for _ in range(300):
+            src = rng.randrange(64)
+            dst = rng.randrange(64)
+            if src != dst:
+                fabric.send(_message(src, dst, 4), 0)
+        _run(fabric, limit=100_000)
+        by_dim = {0: 0, 1: 0, 2: 0}
+        for (_, dim, _), phits in fabric.channel_phits.items():
+            by_dim[dim] += phits
+        # Symmetric traffic: roughly equal by dimension (each corrected
+        # once); but midplane X channels individually carry the most.
+        x_channels = {k: v for k, v in fabric.channel_phits.items()
+                      if k[1] == 0}
+        mid_x = [v for (node, _, _), v in x_channels.items()
+                 if fabric.mesh.coord(node)[0] in (1, 2)]
+        edge_x = [v for (node, _, _), v in x_channels.items()
+                  if fabric.mesh.coord(node)[0] in (0, 3)]
+        assert sum(mid_x) / len(mid_x) > sum(edge_x) / len(edge_x)
+
+
+class TestWatchdog:
+    def test_disabled_by_default(self):
+        fabric = Fabric(Mesh3D(2, 1, 1), lambda n, m: False,
+                        lambda n, m, t: None)
+        fabric.send(_message(0, 1), 0)
+        for now in range(500):
+            fabric.step(now)  # stalled forever, but no watchdog
+
+    def test_trips_on_refused_delivery(self):
+        fabric = Fabric(Mesh3D(2, 1, 1), lambda n, m: False,
+                        lambda n, m, t: None)
+        fabric.watchdog_cycles = 100
+        fabric.send(_message(0, 1), 0)
+        with pytest.raises(ConfigurationError, match="no progress"):
+            for now in range(1_000):
+                fabric.step(now)
+
+    def test_diagnostic_names_the_stuck_message(self):
+        fabric = Fabric(Mesh3D(2, 1, 1), lambda n, m: False,
+                        lambda n, m, t: None)
+        fabric.watchdog_cycles = 50
+        fabric.send(_message(0, 1), 0)
+        with pytest.raises(ConfigurationError, match="0->1"):
+            for now in range(1_000):
+                fabric.step(now)
+
+    def test_does_not_trip_on_healthy_traffic(self):
+        fabric = Fabric(Mesh3D(4, 4, 4), lambda n, m: True,
+                        lambda n, m, t: None)
+        fabric.watchdog_cycles = 100
+        for dst in range(1, 40):
+            fabric.send(_message(0, dst % 64, 4), 0)
+        _run(fabric)
+        assert not fabric.active

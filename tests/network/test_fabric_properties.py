@@ -1,0 +1,114 @@
+"""Property-based tests of the wormhole fabric's global invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.message import Message
+from repro.core.registers import Priority
+from repro.core.word import Word
+from repro.network.fabric import Fabric
+from repro.network.topology import Mesh3D
+
+
+def _message(src, dst, length, priority=Priority.P0):
+    words = [Word.ip(1)] + [Word.from_int(i) for i in range(length - 1)]
+    return Message(words, source=src, dest=dst, priority=priority)
+
+
+message_specs = st.lists(
+    st.tuples(
+        st.integers(0, 26),          # source (3x3x3 mesh)
+        st.integers(0, 26),          # dest
+        st.integers(1, 6),           # length in words
+        st.sampled_from([Priority.P0, Priority.P1]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(message_specs)
+def test_conservation_and_progress(specs):
+    """Every submitted message is delivered exactly once, to the right
+    node, and the network fully drains (deadlock freedom under e-cube
+    routing with accepting destinations)."""
+    delivered = []
+    fabric = Fabric(Mesh3D(3, 3, 3), lambda n, m: True,
+                    lambda n, m, t: delivered.append((n, m)))
+    sent = []
+    for src, dst, length, priority in specs:
+        message = _message(src, dst, length, priority)
+        sent.append(message)
+        fabric.send(message, 0)
+
+    now = 0
+    while fabric.active and now < 100_000:
+        fabric.step(now)
+        now += 1
+
+    assert not fabric.active, "network failed to drain"
+    assert len(delivered) == len(sent)
+    # Exactly once, and to the right destination.
+    assert {id(m) for _, m in delivered} == {id(m) for m in sent}
+    for node, message in delivered:
+        assert node == message.dest
+
+
+@settings(deadline=None, max_examples=40)
+@given(message_specs)
+def test_latency_lower_bound(specs):
+    """No message arrives faster than its wire minimum."""
+    fabric = Fabric(Mesh3D(3, 3, 3), lambda n, m: True,
+                    lambda n, m, t: None)
+    mesh = fabric.mesh
+    for src, dst, length, priority in specs:
+        fabric.send(_message(src, dst, length, priority), 0)
+    now = 0
+    while fabric.active and now < 100_000:
+        fabric.step(now)
+        now += 1
+    # All messages were submitted at 0; check each arrival time.
+    assert fabric.stats.latency.count == len(specs)
+    minimum = fabric.inject_latency + fabric.eject_latency
+    assert fabric.stats.latency.min >= minimum
+
+
+@settings(deadline=None, max_examples=30)
+@given(message_specs, st.sampled_from(["fixed", "round_robin"]))
+def test_arbitration_modes_both_conserve(specs, arbitration):
+    delivered = []
+    fabric = Fabric(Mesh3D(3, 3, 3), lambda n, m: True,
+                    lambda n, m, t: delivered.append(n),
+                    arbitration=arbitration)
+    for src, dst, length, priority in specs:
+        fabric.send(_message(src, dst, length, priority), 0)
+    now = 0
+    while fabric.active and now < 100_000:
+        fabric.step(now)
+        now += 1
+    assert len(delivered) == len(specs)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(2, 5)),
+                min_size=1, max_size=15))
+def test_per_pair_fifo_order(specs):
+    """Messages between the same (source, dest) pair stay in order."""
+    order = []
+    fabric = Fabric(Mesh3D(8, 1, 1), lambda n, m: True,
+                    lambda n, m, t: order.append(m))
+    tagged = []
+    for i, (dst, length) in enumerate(specs):
+        message = _message(0, dst, length)
+        tagged.append((dst, i, message))
+        fabric.send(message, 0)
+    now = 0
+    while fabric.active and now < 100_000:
+        fabric.step(now)
+        now += 1
+    sequence = {id(m): i for dst, i, m in tagged}
+    per_dest = {}
+    for message in order:
+        per_dest.setdefault(message.dest, []).append(sequence[id(message)])
+    for dest, indices in per_dest.items():
+        assert indices == sorted(indices)

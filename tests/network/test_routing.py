@@ -1,0 +1,86 @@
+"""Tests for deterministic e-cube routing."""
+
+from hypothesis import given, strategies as st
+
+from repro.network.routing import EJECT, INJECT, ecube_route, route_hops
+from repro.network.topology import Mesh3D
+
+
+def test_self_route_is_inject_eject():
+    mesh = Mesh3D.cube(4)
+    path = ecube_route(mesh, 5, 5)
+    assert path == [(5, INJECT, 0), (5, EJECT, 0)]
+
+
+def test_route_starts_and_ends_with_ports():
+    mesh = Mesh3D.cube(4)
+    path = ecube_route(mesh, 0, 63)
+    assert path[0] == (0, INJECT, 0)
+    assert path[-1] == (63, EJECT, 0)
+
+
+def test_route_length_matches_distance():
+    mesh = Mesh3D.cube(8)
+    path = ecube_route(mesh, 0, 511)
+    assert route_hops(path) == 21
+    assert len(path) == 23
+
+
+def test_dimension_order_strictly_nondecreasing():
+    """e-cube: all X hops, then all Y, then all Z (deadlock freedom)."""
+    mesh = Mesh3D.cube(8)
+    path = ecube_route(mesh, 7, 448)
+    dims = [dim for (_, dim, _) in path if dim < INJECT]
+    assert dims == sorted(dims)
+
+
+def test_direction_constant_within_dimension():
+    mesh = Mesh3D.cube(8)
+    path = ecube_route(mesh, 511, 0)
+    for dim in range(3):
+        dirs = {d for (_, dimension, d) in path if dimension == dim}
+        assert len(dirs) <= 1
+
+
+@given(st.integers(0, 511), st.integers(0, 511))
+def test_route_properties_random_pairs(src, dst):
+    mesh = Mesh3D.cube(8)
+    path = ecube_route(mesh, src, dst)
+    # Endpoints correct.
+    assert path[0][0] == src and path[0][1] == INJECT
+    assert path[-1][0] == dst and path[-1][1] == EJECT
+    # Hop count is the Manhattan distance.
+    assert route_hops(path) == mesh.hops(src, dst)
+    # Dimension order is monotone.
+    dims = [dim for (_, dim, _) in path if dim < INJECT]
+    assert dims == sorted(dims)
+    # Simulate the walk: each channel moves one step; we must land on dst.
+    x, y, z = mesh.coord(src)
+    position = [x, y, z]
+    for node, dim, step in path[1:-1]:
+        assert mesh.node_id(tuple(position)) == node
+        position[dim] += step
+    assert mesh.node_id(tuple(position)) == dst
+
+
+@given(st.integers(0, 511), st.integers(0, 511))
+def test_channel_sequence_acyclic_order(src, dst):
+    """Channels are visited in strictly increasing e-cube rank, which is
+    the standard argument for deadlock freedom of dimension-order
+    routing on a mesh."""
+    mesh = Mesh3D.cube(8)
+
+    def rank(channel):
+        node, dim, step = channel
+        x, y, z = mesh.coord(node)
+        coord = (x, y, z)[dim] if dim < 3 else 0
+        # Order: dimension major; within a dimension, position in the
+        # direction of travel.
+        position = coord if step >= 0 else (7 - coord)
+        direction_bit = 0 if step >= 0 else 1
+        return (dim, direction_bit, position)
+
+    path = ecube_route(mesh, src, dst)
+    mesh_channels = [c for c in path if c[1] < 3]
+    ranks = [rank(c) for c in mesh_channels]
+    assert ranks == sorted(ranks)

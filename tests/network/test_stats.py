@@ -1,0 +1,63 @@
+"""Unit tests for network statistics helpers."""
+
+import pytest
+
+from repro.network.stats import LatencySummary, NetworkStats
+from repro.network.topology import Mesh3D
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = LatencySummary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.min is None and summary.max is None
+
+    def test_single_value(self):
+        summary = LatencySummary()
+        summary.record(42)
+        assert summary.mean == 42
+        assert summary.min == summary.max == 42
+
+    def test_running_stats(self):
+        summary = LatencySummary()
+        for value in (10, 20, 60):
+            summary.record(value)
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(30)
+        assert summary.min == 10
+        assert summary.max == 60
+
+
+class TestWindow:
+    def test_window_reset(self):
+        stats = NetworkStats(Mesh3D(4, 4, 4))
+        stats.window_completed = 9
+        stats.window_bisection_words = 100
+        stats.open_window(500)
+        assert stats.window_completed == 0
+        assert stats.window_bisection_words == 0
+        assert stats.window_cycles(600) == 100
+
+    def test_window_cycles_floor(self):
+        stats = NetworkStats(Mesh3D(2, 2, 2))
+        stats.open_window(100)
+        assert stats.window_cycles(100) == 1  # never zero
+
+    def test_bisection_convention_halves_crossings(self):
+        """Both-direction crossings are halved to match the one-direction
+        capacity convention."""
+        mesh = Mesh3D(8, 8, 8)
+        stats = NetworkStats(mesh)
+        stats.open_window(0)
+        stats.window_bisection_words = 64  # words crossing, both dirs
+        # 32 words/cycle one-direction is exactly peak (64ch * 0.5).
+        traffic = stats.bisection_traffic_bits_per_s(now=1)
+        assert traffic == pytest.approx(
+            mesh.bisection_capacity_bits_per_s())
+
+    def test_message_rate(self):
+        stats = NetworkStats(Mesh3D(2, 2, 2))
+        stats.open_window(0)
+        stats.window_completed = 50
+        assert stats.message_rate_per_cycle(now=100) == 0.5

@@ -1,0 +1,34 @@
+"""Tests for first-class fut behaviour on the cycle machine."""
+
+import pytest
+
+from repro.runtime.futures import run_future_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_future_experiment(value=42)
+
+
+def test_future_copies_without_faulting(result):
+    """'The fut type may be copied without faulting' — stored in an
+    array, still tagged as a future."""
+    assert result.moved_before_production
+
+
+def test_use_of_future_suspends(result):
+    """Arithmetic on the unresolved copy traps and suspends the thread."""
+    assert result.consumer_suspended
+    assert result.suspends >= 1
+
+
+def test_resolution_restarts_and_computes(result):
+    """Once the producer writes the value through, the consumer resumes
+    and computes with the real value."""
+    assert result.restarts >= 1
+    assert result.final_value == 42 + 100
+
+
+def test_different_values_flow_through():
+    other = run_future_experiment(value=-7)
+    assert other.final_value == -7 + 100

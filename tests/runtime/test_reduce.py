@@ -1,0 +1,45 @@
+"""Tests for the assembly combining-tree reduction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.machine.jmachine import JMachine
+from repro.runtime.reduce import run_reduction
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64])
+def test_sums_correctly(n):
+    machine = JMachine.build(n)
+    result = run_reduction(machine, list(range(n)))
+    assert result.total == sum(range(n))
+    assert result.broadcast_complete
+
+
+def test_negative_values():
+    machine = JMachine.build(8)
+    values = [-5, 3, -1, 0, 7, -2, 9, -11]
+    assert run_reduction(machine, values).total == sum(values)
+
+
+def test_wrong_value_count_rejected():
+    machine = JMachine.build(4)
+    with pytest.raises(ConfigurationError):
+        run_reduction(machine, [1, 2, 3])
+
+
+def test_logarithmic_scaling():
+    """Cost grows with tree depth, not node count."""
+    cycles = {}
+    for n in (8, 64):
+        machine = JMachine.build(n)
+        cycles[n] = run_reduction(machine, [1] * n).cycles
+    # 8x the nodes, but only 2x the levels: far from 8x the time.
+    assert cycles[64] < cycles[8] * 3
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.lists(st.integers(-1000, 1000), min_size=2, max_size=16))
+def test_arbitrary_values(values):
+    machine = JMachine.build(len(values))
+    assert run_reduction(machine, values).total == sum(values)

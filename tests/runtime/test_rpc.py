@@ -1,0 +1,74 @@
+"""Tests for the RPC micro-benchmarks against the paper's anchors."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.machine.config import MachineConfig
+from repro.machine.jmachine import JMachine
+from repro.runtime.rpc import run_ping, run_remote_read
+
+
+def machine(dims=(8, 8, 8)):
+    return JMachine(MachineConfig(dims=dims))
+
+
+class TestPing:
+    def test_self_ping_near_43_cycles(self):
+        result = run_ping(machine(), 0, 0, iterations=30)
+        assert result.round_trip_cycles == pytest.approx(43, abs=4)
+
+    def test_slope_is_two_cycles_per_hop(self):
+        near = run_ping(machine(), 0, 1, iterations=30).round_trip_cycles
+        far = run_ping(machine(), 0, 7, iterations=30).round_trip_cycles
+        slope = (far - near) / 6
+        assert slope == pytest.approx(2.0, abs=0.3)
+
+    def test_hops_recorded(self):
+        result = run_ping(machine(), 0, 511, iterations=5)
+        assert result.hops == 21
+
+    def test_iterations_counted(self):
+        result = run_ping(machine(), 0, 3, iterations=7)
+        assert result.iterations == 7
+
+
+class TestRemoteRead:
+    def test_neighbour_read_near_60(self):
+        result = run_remote_read(machine(), 1, True, 0, 1, iterations=30)
+        assert result.round_trip_cycles == pytest.approx(60, abs=5)
+
+    def test_corner_read_near_98(self):
+        result = run_remote_read(machine(), 1, True, 0, 511, iterations=30)
+        assert result.round_trip_cycles == pytest.approx(98, abs=5)
+
+    def test_emem_slower_than_imem(self):
+        imem = run_remote_read(machine(), 1, True, 0, 5, 20).round_trip_cycles
+        emem = run_remote_read(machine(), 1, False, 0, 5, 20).round_trip_cycles
+        assert emem > imem
+
+    def test_read6_slower_than_read1(self):
+        one = run_remote_read(machine(), 1, True, 0, 5, 20).round_trip_cycles
+        six = run_remote_read(machine(), 6, True, 0, 5, 20).round_trip_cycles
+        assert six > one + 10  # 5 extra reply words at 2 phits each, plus work
+
+    def test_emem_per_word_penalty(self):
+        imem6 = run_remote_read(machine(), 6, True, 0, 5, 20).round_trip_cycles
+        emem6 = run_remote_read(machine(), 6, False, 0, 5, 20).round_trip_cycles
+        per_word = (emem6 - imem6) / 6
+        assert 3 <= per_word <= 8  # paper: 8 vs 2 cycles/word
+
+    def test_only_1_or_6_words(self):
+        with pytest.raises(ConfigurationError):
+            run_remote_read(machine(), 3, True)
+
+
+class TestOrdering:
+    def test_series_are_ordered_at_every_distance(self):
+        """Ping < Read1 Imem <= Read1 Emem < Read6 Imem < Read6 Emem."""
+        for responder in (1, 63):
+            ping = run_ping(machine(), 0, responder, 10).round_trip_cycles
+            r1i = run_remote_read(machine(), 1, True, 0, responder, 10).round_trip_cycles
+            r1e = run_remote_read(machine(), 1, False, 0, responder, 10).round_trip_cycles
+            r6i = run_remote_read(machine(), 6, True, 0, responder, 10).round_trip_cycles
+            r6e = run_remote_read(machine(), 6, False, 0, responder, 10).round_trip_cycles
+            assert ping < r1i <= r1e < r6i < r6e

@@ -1,0 +1,70 @@
+"""Documentation consistency: the docs describe the code that exists."""
+
+import pathlib
+import re
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs"
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def test_costmodel_doc_matches_calibrated_constants():
+    from repro.network.fabric import (DEFAULT_EJECT_LATENCY,
+                                      DEFAULT_INJECT_LATENCY)
+
+    text = (DOCS / "COSTMODEL.md").read_text()
+    assert f"`inject_latency = {DEFAULT_INJECT_LATENCY}`" in text
+    assert f"`eject_latency = {DEFAULT_EJECT_LATENCY}`" in text
+
+
+def test_costmodel_doc_matches_published_constants():
+    from repro.core.costs import DEFAULT_COSTS
+
+    text = (DOCS / "COSTMODEL.md").read_text()
+    assert "12.5 MHz" in text
+    assert DEFAULT_COSTS.dispatch == 4 and "| 4 cycles |" in text
+    assert DEFAULT_COSTS.xlate_hit == 3
+
+
+def test_design_lists_every_package():
+    import repro
+
+    design = (ROOT / "DESIGN.md").read_text()
+    for package in ("repro.core", "repro.asm", "repro.network",
+                    "repro.machine", "repro.runtime", "repro.jsim",
+                    "repro.apps", "repro.bench", "repro.cst"):
+        assert package in design, package
+
+
+def test_design_indexes_every_artifact():
+    design = (ROOT / "DESIGN.md").read_text()
+    for artifact in ("Figure 2", "Table 1", "Figure 3", "Figure 4",
+                     "Table 2", "Table 3", "Figure 5", "Figure 6",
+                     "Table 4", "Table 5"):
+        assert artifact in design, artifact
+
+
+def test_experiments_covers_every_artifact():
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+    for heading in ("Figure 2", "Table 1", "Figure 3", "Figure 4",
+                    "Table 2", "Table 3", "Figure 5", "Figure 6",
+                    "Table 4", "Table 5"):
+        assert heading in experiments, heading
+
+
+def test_readme_examples_exist():
+    readme = (ROOT / "README.md").read_text()
+    for match in re.finditer(r"`examples/([a-z_]+\.py)`", readme):
+        assert (ROOT / "examples" / match.group(1)).exists(), match.group(1)
+
+
+def test_every_example_mentioned_in_readme_or_tested():
+    readme = (ROOT / "README.md").read_text()
+    smoke = (ROOT / "tests" / "test_examples.py").read_text()
+    for example in (ROOT / "examples").glob("*.py"):
+        assert example.name in readme or example.name in smoke, example.name
+
+
+def test_bench_targets_in_design_exist():
+    design = (ROOT / "DESIGN.md").read_text()
+    for match in re.finditer(r"`benchmarks/(bench_[a-z0-9_]+\.py)`", design):
+        assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(1)

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script runs and prints sensible output.
+
+Each example accepts size arguments, so the suite runs them at reduced
+scale; what's checked is that they execute end to end and their key
+claims appear in the output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "remote increment returned: 42" in out
+    assert "round trip" in out
+
+
+def test_rpc_latency_survey():
+    out = run_example("rpc_latency_survey.py", "4")
+    assert "slope" in out
+    assert "ping" in out
+
+
+def test_parallel_sort():
+    out = run_example("parallel_sort.py", "2048")
+    assert "speedup" in out
+    assert "3-word message" in out
+
+
+def test_branch_and_bound():
+    out = run_example("branch_and_bound.py", "9")
+    assert "verified optimal tour" in out
+
+
+def test_network_saturation():
+    out = run_example("network_saturation.py", "4", "8")
+    assert "bisection capacity" in out
+    assert "#" in out  # the latency bars
+
+
+def test_custom_application():
+    out = run_example("custom_application.py")
+    assert "verified correct" in out
+
+
+def test_partitioned_machine():
+    out = run_example("partitioned_machine.py")
+    assert "token completed=True" in out
+    assert "protection" in out
+
+
+def test_cst_objects():
+    out = run_example("cst_objects.py")
+    assert "(verified)" in out
+    assert "xlates" in out
+
+
+def test_assembly_showcase():
+    out = run_example("assembly_showcase.py")
+    assert "sorted 64 keys" in out
+    assert "instruction trace" in out

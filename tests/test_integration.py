@@ -1,0 +1,215 @@
+"""Cross-layer integration tests: all mechanisms working together."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import Priority, Tag, Word
+from repro.machine import JMachine, MachineConfig
+
+
+class TestRemoteFutures:
+    """Presence tags + messages: a remote producer feeding a consumer."""
+
+    SOURCE = """
+    ; consumer runs on node 0: asks node N for a value, then uses it.
+    consumer:
+        SEND  [A0+1]              ; producer node
+        SEND2 #IP:produce, [A0+2] ; handler + replyto
+        SENDE #21                 ; the operand to double
+        MOVE  [A0+0], R0          ; cfut -> suspends here
+        ADD   R0, #100, R0
+        MOVE  R0, [A0+3]          ; final result
+        SUSPEND
+
+    ; producer: doubles the operand, writes it back remotely.
+    produce:
+        MOVE  [A3+2], R0
+        ADD   R0, R0, R0
+        SEND  [A3+1]
+        SEND2E #IP:fill, R0
+        SUSPEND
+
+    ; landing on node 0: the write wakes the suspended consumer.
+    fill:
+        MOVE  [A3+1], [A0+0]
+        SUSPEND
+    """
+
+    def test_suspend_until_remote_value_arrives(self):
+        machine = JMachine.build(8)
+        program = assemble(self.SOURCE)
+        machine.load(program)
+        base = program.end + 4
+        for node in machine.nodes:
+            node.proc.registers[Priority.P0].write(
+                "A0", Word.segment(base, 8))
+        consumer = machine.node(0).proc
+        consumer.memory.poke(base + 0, Word.cfut())
+        consumer.memory.poke(base + 1, Word.from_int(7))   # producer node
+        consumer.memory.poke(base + 2, Word.from_int(0))   # reply to us
+        machine.inject(0, program.entry("consumer"))
+        machine.run(max_cycles=20_000)
+        assert consumer.memory.peek(base + 3).value == 21 * 2 + 100
+        assert consumer.counters.suspends == 1
+        assert consumer.counters.restarts == 1
+
+
+class TestNamingAcrossMessages:
+    """enter/xlate used by handlers to locate objects by global name."""
+
+    SOURCE = """
+    ; setup thread: register object #500 at segment [A1]
+    setup:
+        ENTER #500, A1
+        MOVE  #1, [A0+0]
+        SUSPEND
+
+    ; lookup: translate name 500, read slot k, reply with the value
+    lookup:
+        XLATE #500, A2
+        MOVE  [A3+2], R0
+        SEND  [A3+1]
+        SEND  #IP:answer
+        SENDE [A2+R0]
+        SUSPEND
+
+    answer:
+        MOVE [A3+1], [A0+1]
+        SUSPEND
+    """
+
+    def test_global_name_lookup_round_trip(self):
+        machine = JMachine.build(4)
+        program = assemble(self.SOURCE)
+        machine.load(program)
+        base = program.end + 8
+        object_base = base + 16
+        for node in machine.nodes:
+            regs = node.proc.registers[Priority.P0]
+            regs.write("A0", Word.segment(base, 8))
+            regs.write("A1", Word.segment(object_base, 4))
+        server = machine.node(3).proc
+        server.memory.poke(object_base + 2, Word.from_int(777))
+        machine.inject(3, program.entry("setup"))
+        machine.run(max_cycles=5_000)
+        machine.inject(3, program.entry("lookup"),
+                       [Word.from_int(0), Word.from_int(2)], source=0)
+        machine.run(max_cycles=20_000)
+        assert machine.node(0).proc.memory.peek(base + 1).value == 777
+        assert server.amt.hits >= 1
+
+
+class TestBackpressureEndToEnd:
+    """A slow receiver backpressures senders into send faults."""
+
+    SOURCE = """
+    ; sender: blast COUNT messages at node 1 as fast as possible
+    blast:
+        MOVE  [A0+0], R2
+    loop:
+        SEND  #1
+        SEND2E #IP:slow, R2
+        SUB   R2, #1, R2
+        BT    R2, loop
+        HALT
+
+    ; receiver burns cycles per message (slower than the channel)
+    slow:
+        MOVE #12, R1
+    spin:
+        SUB  R1, #1, R1
+        BT   R1, spin
+        SUSPEND
+    """
+
+    def test_send_faults_under_congestion(self):
+        machine = JMachine(MachineConfig(dims=(2, 1, 1), queue_words=16,
+                                         send_buffer_words=8))
+        program = assemble(self.SOURCE)
+        machine.load(program)
+        base = program.end + 4
+        sender = machine.node(0).proc
+        sender.registers[Priority.BACKGROUND].write(
+            "A0", Word.segment(base, 4))
+        sender.memory.poke(base, Word.from_int(60))
+        machine.start_background(0, program.entry("blast"))
+        machine.run(max_cycles=100_000)
+        receiver = machine.node(1).proc
+        assert receiver.counters.threads_completed == 60
+        # The receiver cannot keep up: the sender must have stalled.
+        assert sender.counters.send_faults > 0
+        assert sender.counters.stall_cycles > 0
+
+    def test_spill_mode_absorbs_burst_without_send_faults(self):
+        machine = JMachine(MachineConfig(dims=(2, 1, 1), queue_words=16,
+                                         send_buffer_words=64,
+                                         queue_overflow_spills=True))
+        program = assemble(self.SOURCE)
+        machine.load(program)
+        base = program.end + 4
+        sender = machine.node(0).proc
+        sender.registers[Priority.BACKGROUND].write(
+            "A0", Word.segment(base, 4))
+        sender.memory.poke(base, Word.from_int(60))
+        machine.start_background(0, program.entry("blast"))
+        machine.run(max_cycles=200_000)
+        receiver = machine.node(1).proc
+        assert receiver.counters.threads_completed == 60
+        assert receiver.counters.spills > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_machines(self):
+        def run_once():
+            from repro.runtime import run_ping
+            machine = JMachine.build(64)
+            result = run_ping(machine, 0, 63, iterations=10)
+            return (result.total_cycles, machine.now,
+                    machine.total_instructions())
+
+        assert run_once() == run_once()
+
+    def test_macro_sim_deterministic(self):
+        from repro.apps.radix_sort import RadixParams, run_parallel
+        params = RadixParams(n_keys=512)
+        a = run_parallel(8, params)
+        b = run_parallel(8, params)
+        assert a.cycles == b.cycles
+        assert a.output == b.output
+
+
+class TestCycleCounterProgram:
+    """The CYCLE instruction timing a real message round trip."""
+
+    SOURCE = """
+    timer:
+        CYCLE R0
+        MOVE  R0, [A0+0]
+        SEND  #1
+        SENDE #IP:bounce
+        SUSPEND
+    bounce:
+        SEND  #0
+        SENDE #IP:stop
+        SUSPEND
+    stop:
+        CYCLE R0
+        MOVE  R0, [A0+1]
+        SUSPEND
+    """
+
+    def test_measured_interval_matches_simulator_clock(self):
+        machine = JMachine(MachineConfig(dims=(2, 1, 1)))
+        program = assemble(self.SOURCE)
+        machine.load(program)
+        base = program.end + 4
+        for node in machine.nodes:
+            node.proc.registers[Priority.P0].write(
+                "A0", Word.segment(base, 4))
+        machine.inject(0, program.entry("timer"))
+        machine.run(max_cycles=10_000)
+        memory = machine.node(0).proc.memory
+        start = memory.peek(base + 0).value
+        end = memory.peek(base + 1).value
+        # One round trip over one hop: tens of cycles, measured on-chip.
+        assert 20 < end - start < 80

@@ -1,0 +1,53 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.asm.assembler import Program, assemble
+from repro.core.faults import FaultPolicy
+from repro.core.processor import Mdp
+from repro.core.registers import Priority
+from repro.core.word import Word
+
+__all__ = ["run_background", "load_processor"]
+
+
+def load_processor(
+    source: str,
+    fault_policy: Optional[FaultPolicy] = None,
+) -> Tuple[Mdp, Program]:
+    """Assemble ``source`` and load it into a fresh bare processor."""
+    kwargs = {} if fault_policy is None else {"fault_policy": fault_policy}
+    proc = Mdp(node_id=0, **kwargs)
+    program = assemble(source)
+    program.load(proc)
+    return proc, program
+
+
+def run_background(
+    proc: Mdp,
+    entry: int,
+    max_cycles: int = 100_000,
+) -> int:
+    """Run the background thread until HALT/idle; return elapsed cycles.
+
+    Also drives any message threads that become runnable (e.g. after a
+    host-injected delivery), since `tick` schedules by priority.
+    """
+    proc.set_background(entry)
+    now = 0
+    while not proc.halted and now < max_cycles:
+        nxt = proc.tick(now)
+        if nxt is None:
+            break
+        now = nxt
+    return now
+
+
+def globals_segment(proc: Mdp, program: Program, words: int = 16,
+                    priority: Priority = Priority.BACKGROUND) -> int:
+    """Reserve a globals segment after the program; point A0 at it."""
+    base = program.end + 4
+    proc.registers[priority].write("A0", Word.segment(base, words))
+    return base
