@@ -1,6 +1,6 @@
 # Convenience targets for the J-Machine reproduction.
 
-.PHONY: install test bench paper report examples clean
+.PHONY: install test bench perfsmoke check paper report examples clean
 
 install:
 	pip install -e .
@@ -10,6 +10,15 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Simulator-throughput regression smoke: re-measures BENCH_simspeed.json.
+# Compare against the committed baseline (docs/PERFORMANCE.md explains how).
+perfsmoke:
+	PYTHONPATH=src python -m pytest benchmarks/bench_simulator_speed.py \
+		--benchmark-only --benchmark-json=BENCH_simspeed.json
+
+# The full gate: correctness suite plus the throughput smoke.
+check: test perfsmoke
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:

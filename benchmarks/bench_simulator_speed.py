@@ -3,6 +3,12 @@
 Not a paper artifact: these measure how fast *this library* simulates,
 so regressions in simulator throughput (simulated instructions or events
 per host second) are caught like any other regression.
+
+Run via ``make perfsmoke``, which writes ``BENCH_simspeed.json``; compare
+against the committed baseline to spot throughput regressions (see
+docs/PERFORMANCE.md).  The ``slow_reference`` variants pin the cycle
+level to the single-step interpreter so the fast-path speedup itself is
+visible in the report.
 """
 
 import pytest
@@ -23,9 +29,32 @@ loop:
     HALT
 """
 
+# A 16-node token ring exercised at the cycle level: each node decrements
+# a hop counter held in its data segment, forwards the token to its
+# +1 neighbour, and suspends.  Eight tokens circulate concurrently so the
+# fabric stays loaded (send buffers, worm routing, delivery staging all
+# on the hot path).
+RING_NODES = 16
+RING_HOPS = 300
+RING_TOKENS = 8
 
-def run_cycle_loop():
-    proc = Mdp(node_id=0)
+RING = f"""
+relay:
+    MOVE  [A3+1], R1
+    BF    R1, done
+    SUB   R1, #1, R1
+    MOVEID R2
+    ADD   R2, #1, R2
+    MOD   R2, #{RING_NODES}, R2
+    SEND  R2
+    SEND2E #IP:relay, R1
+done:
+    SUSPEND
+"""
+
+
+def run_cycle_loop(fast_path=True):
+    proc = Mdp(node_id=0, fast_path=fast_path)
     program = assemble(LOOP)
     program.load(proc)
     proc.set_background(program.entry("start"))
@@ -33,6 +62,21 @@ def run_cycle_loop():
     while not proc.halted:
         now = proc.tick(now)
     return proc.counters.instructions
+
+
+def run_loaded_fabric(fast_path=True):
+    from repro.core.registers import Priority
+    from repro.core.word import Word
+
+    machine = JMachine(MachineConfig(dims=(4, 4, 1), fast_path=fast_path))
+    program = assemble(RING)
+    machine.load(program)
+    entry = program.entry("relay")
+    for token in range(RING_TOKENS):
+        machine.inject(token % RING_NODES, entry,
+                       [Word.from_int(RING_HOPS)])
+    machine.run_until_quiescent(max_cycles=10_000_000)
+    return machine.total_instructions()
 
 
 def run_macro_relay():
@@ -49,6 +93,14 @@ def run_macro_relay():
     return sim.messages_sent
 
 
+def run_macro_radix():
+    from repro.apps.radix_sort import RadixParams, run_parallel
+
+    params = RadixParams(n_keys=4096, key_bits=16, digit_bits=4, seed=11)
+    result = run_parallel(n_nodes=64, params=params)
+    return result.n_nodes
+
+
 def run_machine_ping():
     from repro.runtime.rpc import run_ping
     machine = JMachine(MachineConfig(dims=(4, 4, 4)))
@@ -60,9 +112,25 @@ def test_cycle_simulator_throughput(benchmark):
     assert instructions == 3002
 
 
+def test_cycle_simulator_slow_reference(benchmark):
+    instructions = benchmark(run_cycle_loop, fast_path=False)
+    assert instructions == 3002
+
+
+def test_loaded_fabric_throughput(benchmark):
+    instructions = benchmark.pedantic(run_loaded_fabric, rounds=3,
+                                      iterations=1)
+    assert instructions == RING_TOKENS * (RING_HOPS * 9 + 3)
+
+
 def test_macro_simulator_throughput(benchmark):
     messages = benchmark(run_macro_relay)
     assert messages == 2001
+
+
+def test_macro_radix_throughput(benchmark):
+    nodes = benchmark.pedantic(run_macro_radix, rounds=3, iterations=1)
+    assert nodes == 64
 
 
 def test_whole_machine_throughput(benchmark):

@@ -238,6 +238,7 @@ def run_cycle_radix(
     keys: List[int],
     n_digits: int = 4,
     max_cycles: int = 50_000_000,
+    fast_path: bool = True,
 ) -> CycleRadixResult:
     """Sort ``keys`` (< 4**n_digits) in assembly; verify the order."""
     if len(keys) % n_nodes:
@@ -249,7 +250,8 @@ def run_cycle_radix(
 
     machine = JMachine(MachineConfig(dims=Mesh3D.for_nodes(n_nodes).dims,
                                      queue_words=8192,
-                                     send_buffer_words=64))
+                                     send_buffer_words=64,
+                                     fast_path=fast_path))
     program = assemble(radix_cycle_source(kpn, n_nodes, n_digits))
     machine.load(program)
 

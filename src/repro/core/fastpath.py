@@ -1,0 +1,587 @@
+"""Instruction pre-decoding for the MDP's fast execution path.
+
+The reference interpreter (:meth:`repro.core.processor.Mdp._execute_one`)
+re-classifies every operand and walks the opcode if-chain on every
+execution.  This module compiles each installed instruction *once* into a
+closure specialised for its exact operand forms — register names become
+captured dict keys, immediates become captured constants, segment offsets
+become captured ints — so the per-execution work is just the semantic
+core: the reads, the ALU function, the write, the presence-tag guards.
+
+The compiled form of one instruction is a :class:`Decoded` tuple:
+
+``runner``
+    ``runner(regset, vnow) -> extra_cycles`` executes the instruction and
+    returns the cycles beyond the base cost (exactly what
+    ``_dispatch_instr`` returns).  ``None`` means the instruction could
+    not be compiled and must go through the reference interpreter.
+``cat_key``
+    The counter attribute charged (``"compute_cycles"`` etc., the
+    Figure 6 category of the instruction's kind).
+``base``
+    The precomputed base cost: ``reg_op`` plus the external-fetch
+    surcharge when the instruction lives outside the SRAM.
+``boundary``
+    True when the block executor must stop *after* this instruction:
+    SEND-family ops (queue/buffer state changes the network can see),
+    SUSPEND (dequeues the message), and HALT.
+``writes``
+    True when executing the instruction may change simulated machine
+    state that an ``until`` predicate could read (memory writes, queue
+    operations).  The block executor only evaluates its probe after such
+    instructions.
+
+Cycle-exactness is the contract: every fault message, every guard order,
+every cost term matches the reference path bit for bit.  The equivalence
+suite (``tests/test_fastpath_equivalence.py``) enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple, Optional, TYPE_CHECKING
+
+from .errors import (
+    CfutFault,
+    FutUseFault,
+    SegmentationFault,
+    SendFault,
+    TypeFault,
+    XlateMissFault,
+)
+from .isa import Imm, Instr, MemIdx, MemOff, Operand, Reg
+from .registers import ADDR_REG_NAMES, DATA_REG_NAMES, RegisterSet
+from .tags import Tag
+from .word import Word
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .processor import Mdp
+
+__all__ = ["Decoded", "compile_instr", "BOUNDARY_OPS"]
+
+#: Ops after which a block must stop: they change queue or send-buffer
+#: state that the surrounding machine observes between processor steps.
+BOUNDARY_OPS = frozenset({"SEND", "SENDE", "SEND2", "SEND2E", "SUSPEND", "HALT"})
+
+_REG_NAMES = frozenset(DATA_REG_NAMES + ADDR_REG_NAMES)
+
+_NUMERIC_TAGS = frozenset((Tag.INT, Tag.BOOL, Tag.SYM, Tag.FLOAT))
+
+Reader = Callable[[RegisterSet], Word]
+Writer = Callable[[RegisterSet, Word], None]
+Runner = Callable[[RegisterSet, int], int]
+
+
+class Decoded(NamedTuple):
+    """One pre-decoded instruction (see module docstring)."""
+
+    runner: Optional[Runner]
+    cat_key: str
+    base: int
+    boundary: bool
+    writes: bool
+
+
+# --------------------------------------------------------------- operands
+
+
+def _cfut_read(address: Optional[int]) -> CfutFault:
+    fault = CfutFault("read of cfut slot")
+    fault.address = address
+    return fault
+
+
+def _cfut_use(address: Optional[int]) -> CfutFault:
+    fault = CfutFault("use of cfut slot")
+    fault.address = address
+    return fault
+
+
+def _fut_use(address: Optional[int]) -> FutUseFault:
+    fault = FutUseFault("use of unresolved future")
+    fault.address = address
+    return fault
+
+
+def _make_reader(proc: "Mdp", operand: Operand, mode: str) -> Optional[Reader]:
+    """Compile an operand read; ``mode`` is "read", "use", or "raw".
+
+    Mirrors ``Mdp._read_operand``: immediates are unguarded constants,
+    register reads guard without an address, memory reads guard with the
+    resolved address attached to the fault.
+    """
+    if isinstance(operand, Imm):
+        word = operand.word
+        return lambda regset: word
+
+    if isinstance(operand, Reg):
+        name = operand.name
+        if name not in _REG_NAMES:
+            return None
+        if mode == "raw":
+            return lambda regset: regset.regs[name]
+        if mode == "use":
+
+            def read_use(regset: RegisterSet) -> Word:
+                word = regset.regs[name]
+                tag = word.tag
+                if tag is Tag.CFUT:
+                    raise _cfut_use(None)
+                if tag is Tag.FUT:
+                    raise _fut_use(None)
+                return word
+
+            return read_use
+
+        def read_move(regset: RegisterSet) -> Word:
+            word = regset.regs[name]
+            if word.tag is Tag.CFUT:
+                raise _cfut_read(None)
+            return word
+
+        return read_move
+
+    resolve = _make_resolver(proc, operand)
+    if resolve is None:
+        return None
+    mem_read = proc.memory.read
+
+    if mode == "raw":
+
+        def read_mem_raw(regset: RegisterSet) -> Word:
+            return mem_read(resolve(regset))
+
+        return read_mem_raw
+
+    if mode == "use":
+
+        def read_mem_use(regset: RegisterSet) -> Word:
+            address = resolve(regset)
+            word = mem_read(address)
+            tag = word.tag
+            if tag is Tag.CFUT:
+                raise _cfut_use(address)
+            if tag is Tag.FUT:
+                raise _fut_use(address)
+            return word
+
+        return read_mem_use
+
+    def read_mem(regset: RegisterSet) -> Word:
+        address = resolve(regset)
+        word = mem_read(address)
+        if word.tag is Tag.CFUT:
+            raise _cfut_read(address)
+        return word
+
+    return read_mem
+
+
+def _make_resolver(
+    proc: "Mdp", operand: Operand
+) -> Optional[Callable[[RegisterSet], int]]:
+    """Compile a memory operand's address resolution (bounds checked)."""
+    if isinstance(operand, MemOff):
+        areg = operand.areg.name
+        offset = operand.offset
+        if areg not in _REG_NAMES:
+            return None
+
+        def resolve_off(regset: RegisterSet) -> int:
+            base, length = regset.regs[areg].as_segment()
+            if not 0 <= offset < length:
+                raise SegmentationFault(
+                    f"index {offset} outside segment base={base} length={length}"
+                )
+            return base + offset
+
+        return resolve_off
+
+    if isinstance(operand, MemIdx):
+        areg = operand.areg.name
+        idxreg = operand.idxreg.name
+        if areg not in _REG_NAMES or idxreg not in _REG_NAMES:
+            return None
+
+        def resolve_idx(regset: RegisterSet) -> int:
+            base, length = regset.regs[areg].as_segment()
+            index_word = regset.regs[idxreg]
+            tag = index_word.tag
+            if tag is Tag.CFUT:
+                raise _cfut_use(None)
+            if tag is Tag.FUT:
+                raise _fut_use(None)
+            index = index_word.value
+            if not 0 <= index < length:
+                raise SegmentationFault(
+                    f"index {index} outside segment base={base} length={length}"
+                )
+            return base + index
+
+        return resolve_idx
+
+    return None
+
+
+def _make_writer(proc: "Mdp", operand: Operand) -> Optional[Writer]:
+    """Compile an operand write, including watched-address wakeups."""
+    if isinstance(operand, Reg):
+        name = operand.name
+        if name not in _REG_NAMES:
+            return None
+
+        def write_reg(regset: RegisterSet, word: Word) -> None:
+            regset.regs[name] = word
+
+        return write_reg
+
+    if isinstance(operand, Imm):
+        return None  # reference path raises IllegalInstructionFault
+
+    resolve = _make_resolver(proc, operand)
+    if resolve is None:
+        return None
+    mem_write = proc.memory.write
+    watch = proc._watch
+    wake = proc._wake_watchers
+
+    def write_mem(regset: RegisterSet, word: Word) -> None:
+        address = resolve(regset)
+        mem_write(address, word)
+        if watch and address in watch:
+            wake(address)
+
+    return write_mem
+
+
+def _writes_memory(operand: Operand) -> bool:
+    return isinstance(operand, (MemOff, MemIdx))
+
+
+# ------------------------------------------------------------------ opcodes
+
+
+def _compile_runner(proc: "Mdp", instr: Instr) -> Optional[Runner]:
+    # Imported here to share the single authoritative tables with the
+    # reference interpreter (one source of truth for semantics).
+    from .processor import _ALU_FUNCS, _COMPARE, _MULTICYCLE_ALU
+
+    op = instr.op
+    ops = instr.operands
+    costs = proc.costs
+
+    if op in _ALU_FUNCS:
+        fn = _ALU_FUNCS[op]
+        out_tag = Tag.BOOL if op in _COMPARE else Tag.INT
+        extra = _MULTICYCLE_ALU.get(op, 0)
+        read1 = _make_reader(proc, ops[0], "use")
+        read2 = _make_reader(proc, ops[1], "use")
+        write = _make_writer(proc, ops[2])
+        if read1 is None or read2 is None or write is None:
+            return None
+
+        def run_alu(regset: RegisterSet, vnow: int) -> int:
+            s1 = read1(regset)
+            s2 = read2(regset)
+            if s1.tag not in _NUMERIC_TAGS or s2.tag not in _NUMERIC_TAGS:
+                raise TypeFault(
+                    f"{op} on non-numeric tags {s1.tag.name},{s2.tag.name}"
+                )
+            write(regset, Word(out_tag, fn(s1.value, s2.value)))
+            return extra
+
+        return run_alu
+
+    if op in ("MOVE", "MOVER"):
+        read = _make_reader(proc, ops[0], "raw" if op == "MOVER" else "read")
+        write = _make_writer(proc, ops[1])
+        if read is None or write is None:
+            return None
+
+        def run_move(regset: RegisterSet, vnow: int) -> int:
+            write(regset, read(regset))
+            return 0
+
+        return run_move
+
+    if op == "WTAG":
+        read = _make_reader(proc, ops[0], "raw")
+        read_tag = _make_reader(proc, ops[1], "raw")
+        write = _make_writer(proc, ops[2])
+        if read is None or read_tag is None or write is None:
+            return None
+
+        def run_wtag(regset: RegisterSet, vnow: int) -> int:
+            word = read(regset)
+            write(regset, Word(Tag(read_tag(regset).value), word.value))
+            return 0
+
+        return run_wtag
+
+    if op == "RTAG":
+        read = _make_reader(proc, ops[0], "raw")
+        write = _make_writer(proc, ops[1])
+        if read is None or write is None:
+            return None
+
+        def run_rtag(regset: RegisterSet, vnow: int) -> int:
+            write(regset, Word.from_int(int(read(regset).tag)))
+            return 0
+
+        return run_rtag
+
+    if op == "MOVEID":
+        write = _make_writer(proc, ops[0])
+        if write is None:
+            return None
+        ident = Word.from_int(proc.node_id)
+
+        def run_moveid(regset: RegisterSet, vnow: int) -> int:
+            write(regset, ident)
+            return 0
+
+        return run_moveid
+
+    if op == "CYCLE":
+        write = _make_writer(proc, ops[0])
+        if write is None:
+            return None
+
+        def run_cycle(regset: RegisterSet, vnow: int) -> int:
+            write(regset, Word.from_int(vnow))
+            return 0
+
+        return run_cycle
+
+    if op in ("NOT", "NEG"):
+        read = _make_reader(proc, ops[0], "use")
+        write = _make_writer(proc, ops[1])
+        if read is None or write is None:
+            return None
+        negate = op == "NEG"
+
+        def run_unary(regset: RegisterSet, vnow: int) -> int:
+            value = read(regset).value
+            write(regset, Word.from_int(-value if negate else ~value))
+            return 0
+
+        return run_unary
+
+    if op in ("BR", "JMP"):
+        read = _make_reader(proc, ops[0], "use")
+        if read is None:
+            return None
+        taken_extra = costs.branch_taken_extra
+
+        def run_br(regset: RegisterSet, vnow: int) -> int:
+            regset.ip = read(regset).value
+            return taken_extra
+
+        return run_br
+
+    if op in ("BT", "BF"):
+        read_cond = _make_reader(proc, ops[0], "use")
+        read_target = _make_reader(proc, ops[1], "use")
+        if read_cond is None or read_target is None:
+            return None
+        want_true = op == "BT"
+        taken_extra = costs.branch_taken_extra
+
+        def run_cond_br(regset: RegisterSet, vnow: int) -> int:
+            if (read_cond(regset).value != 0) is want_true:
+                regset.ip = read_target(regset).value
+                return taken_extra
+            return 0
+
+        return run_cond_br
+
+    if op == "CALL":
+        read = _make_reader(proc, ops[0], "use")
+        write = _make_writer(proc, ops[1])
+        if read is None or write is None:
+            return None
+        taken_extra = costs.branch_taken_extra
+
+        def run_call(regset: RegisterSet, vnow: int) -> int:
+            return_addr = Word.from_int(regset.ip)
+            regset.ip = read(regset).value
+            write(regset, return_addr)
+            return taken_extra
+
+        return run_call
+
+    if op == "SUSPEND":
+
+        def run_suspend(regset: RegisterSet, vnow: int) -> int:
+            proc._finish_thread(proc._active_priority)
+            return 0
+
+        return run_suspend
+
+    if op == "HALT":
+
+        def run_halt(regset: RegisterSet, vnow: int) -> int:
+            proc.halted = True
+            return 0
+
+        return run_halt
+
+    if op == "NOP":
+        return lambda regset, vnow: 0
+
+    if op in ("SEND", "SENDE"):
+        read = _make_reader(proc, ops[0], "read")
+        if read is None:
+            return None
+        end = op == "SENDE"
+        meter = proc.memory.meter
+        reg_op = costs.reg_op
+        counters = proc.counters.__dict__
+
+        def run_send(regset: RegisterSet, vnow: int) -> int:
+            word = read(regset)
+            # The word enters the interface when the instruction retires,
+            # so a slow (external-memory) operand delays the launch.
+            retire = vnow + meter.cycles + reg_op
+            proc.network.send_word(proc._active_priority, word, end=end,
+                                   now=retire)
+            counters["words_sent"] += 1
+            if end:
+                counters["messages_sent"] += 1
+            return 0
+
+        return run_send
+
+    if op in ("SEND2", "SEND2E"):
+        read1 = _make_reader(proc, ops[0], "read")
+        read2 = _make_reader(proc, ops[1], "read")
+        if read1 is None or read2 is None:
+            return None
+        end = op == "SEND2E"
+        meter = proc.memory.meter
+        reg_op = costs.reg_op
+        counters = proc.counters.__dict__
+
+        def run_send2(regset: RegisterSet, vnow: int) -> int:
+            w1 = read1(regset)
+            w2 = read2(regset)
+            priority = proc._active_priority
+            network = proc.network
+            if not network.can_accept(priority, 2):
+                raise SendFault("send buffer full")
+            retire = vnow + meter.cycles + reg_op
+            network.send_word(priority, w1, end=False, now=retire)
+            network.send_word(priority, w2, end=end, now=retire)
+            counters["words_sent"] += 2
+            if end:
+                counters["messages_sent"] += 1
+            return 0
+
+        return run_send2
+
+    if op == "ENTER":
+        read_key = _make_reader(proc, ops[0], "read")
+        read_value = _make_reader(proc, ops[1], "read")
+        if read_key is None or read_value is None:
+            return None
+        enter = proc.amt.enter
+        extra = costs.enter - costs.reg_op
+
+        def run_enter(regset: RegisterSet, vnow: int) -> int:
+            key = read_key(regset)
+            enter(key, read_value(regset))
+            return extra
+
+        return run_enter
+
+    if op == "XLATE":
+        read_key = _make_reader(proc, ops[0], "read")
+        write = _make_writer(proc, ops[1])
+        if read_key is None or write is None:
+            return None
+        amt = proc.amt
+        hit_extra = costs.xlate_hit - costs.reg_op
+
+        def run_xlate(regset: RegisterSet, vnow: int) -> int:
+            key = read_key(regset)
+            try:
+                value = amt.xlate(key)
+                extra = hit_extra
+            except XlateMissFault as fault:
+                miss_cost = proc.fault_policy.on_xlate_miss(proc, key, fault)
+                value = amt.probe(key)
+                if value is None:
+                    raise
+                extra = miss_cost
+            write(regset, value)
+            return extra
+
+        return run_xlate
+
+    if op == "PROBE":
+        read_key = _make_reader(proc, ops[0], "read")
+        write = _make_writer(proc, ops[1])
+        if read_key is None or write is None:
+            return None
+        amt_probe = proc.amt.probe
+        extra = costs.xlate_hit - costs.reg_op
+        missing = Word.from_int(0)
+
+        def run_probe(regset: RegisterSet, vnow: int) -> int:
+            value = amt_probe(read_key(regset))
+            write(regset, value if value is not None else missing)
+            return extra
+
+        return run_probe
+
+    if op == "CHECK":
+        read = _make_reader(proc, ops[0], "raw")
+        read_tag = _make_reader(proc, ops[1], "raw")
+        write = _make_writer(proc, ops[2])
+        if read is None or read_tag is None or write is None:
+            return None
+
+        def run_check(regset: RegisterSet, vnow: int) -> int:
+            word = read(regset)
+            tag = Tag(read_tag(regset).value)
+            write(regset, Word.from_bool(word.tag is tag))
+            return 0
+
+        return run_check
+
+    return None  # unimplemented opcode: reference path raises
+
+
+def _written_operands(instr: Instr) -> tuple:
+    """Destination operands, per opcode (for the ``writes`` flag)."""
+    op = instr.op
+    ops = instr.operands
+    from .processor import _ALU_FUNCS
+
+    if op in _ALU_FUNCS or op in ("WTAG", "CHECK"):
+        return (ops[2],)
+    if op in ("MOVE", "MOVER", "RTAG", "NOT", "NEG", "XLATE", "PROBE"):
+        return (ops[1],)
+    if op in ("MOVEID", "CYCLE"):
+        return (ops[0],)
+    if op == "CALL":
+        return (ops[1],)
+    return ()
+
+
+def compile_instr(proc: "Mdp", addr: int, instr: Instr) -> Decoded:
+    """Compile one installed instruction into its :class:`Decoded` form."""
+    from .processor import _KIND_CATEGORY
+
+    cat_key = _KIND_CATEGORY[instr.spec.kind] + "_cycles"
+    base = proc.costs.reg_op
+    if not proc.memory.is_internal(addr):
+        base += proc.costs.emem_fetch_per_word // 2
+    boundary = instr.op in BOUNDARY_OPS
+    runner = _compile_runner(proc, instr)
+    writes = (
+        boundary  # queue/buffer state changes
+        or runner is None  # reference path: assume the worst
+        or instr.op in ("ENTER", "XLATE")  # may mutate the match table
+        or any(_writes_memory(dest) for dest in _written_operands(instr))
+    )
+    return Decoded(runner, cat_key, base, boundary, writes)

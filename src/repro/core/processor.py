@@ -45,6 +45,7 @@ from .errors import (
     XlateMissFault,
 )
 from .faults import FaultPolicy, RuntimeFaultPolicy
+from .fastpath import Decoded, compile_instr
 from .isa import Imm, Instr, MemIdx, MemOff, Operand, Reg
 from .memory import NodeMemory
 from .message import Message
@@ -243,6 +244,7 @@ class Mdp:
         fault_policy: Optional[FaultPolicy] = None,
         queue_words: Optional[int] = None,
         network: Optional[NetworkInterface] = None,
+        fast_path: bool = False,
     ) -> None:
         self.node_id = node_id
         self.costs = costs
@@ -280,6 +282,15 @@ class Mdp:
         self._current_instr_addr: int = 0
         self._suspended_by_fault = False
         self.halted = False
+        #: Fast-path block executor (see :mod:`repro.core.fastpath`).  Off
+        #: by default so bare processors keep the documented one-step-per-
+        #: tick contract; the machine turns it on via MachineConfig.
+        self.fast_path = fast_path
+        #: Decoded-instruction cache keyed by address (fast path only).
+        self._decoded: Dict[int, "Decoded"] = {}
+        #: Set by :meth:`_wake_watchers`; tells a running block that the
+        #: scheduler's view changed and the block must end.
+        self._woke = False
         #: Observers called as fn(proc, message) when a thread completes.
         self.on_thread_complete: List[Callable[["Mdp", Optional[Message]], None]] = []
 
@@ -294,6 +305,7 @@ class Mdp:
         """
         for i, instr in enumerate(instrs):
             self.code[base + i] = instr
+        self._decoded.clear()  # self-modifying loads invalidate the fast path
         return base + len(instrs)
 
     def set_background(self, ip: Optional[int]) -> None:
@@ -393,12 +405,69 @@ class Mdp:
             return Priority.BACKGROUND, "run"
         return None
 
-    def tick(self, now: int) -> Optional[int]:
+    def tick(
+        self,
+        now: int,
+        deadline: Optional[int] = None,
+        probe: Optional[Callable[[int], bool]] = None,
+    ) -> Optional[int]:
         """Execute one scheduling step; return the next ready time.
 
         Returns ``None`` when the processor has nothing to do (parked);
         the machine re-ticks it after the next delivery.
+
+        With :attr:`fast_path` enabled, one call executes an entire
+        straight-line *block* of instructions instead of a single step:
+        execution continues, accumulating cycle charges in virtual time,
+        until the thread suspends, sends, faults, wakes a watcher, or the
+        virtual clock reaches ``deadline`` (exclusive: every instruction
+        *starting* before the deadline runs to completion, exactly as the
+        per-step reference would execute it).  ``probe(start_time)`` is
+        the machine's ``until``-predicate hook: it is evaluated after any
+        instruction that may change predicate-visible state, and a truthy
+        return ends the block.  The returned next-ready time is identical
+        to what the per-step reference path would eventually produce.
         """
+        if not self.fast_path:
+            return self._tick_reference(now)
+        if probe is not None and probe(now):
+            # The predicate already holds at this pass: perform exactly
+            # one reference step so machine state at the until-stop matches
+            # the per-step schedule bit for bit.
+            return self._tick_reference(now)
+        if self.halted:
+            return None
+        if self._spill:
+            refill_cost = self._refill_from_spill()
+            if refill_cost:
+                return now + refill_cost
+        selection = self._select()
+        if selection is None:
+            return None
+        priority, action = selection
+
+        vnow = now
+        if action == "dispatch":
+            vnow += self._do_dispatch(priority, now)
+        elif action == "restart":
+            vnow += self._do_restart(priority)
+        if action != "run":
+            # The window pokes may have flipped the predicate or the
+            # deadline may already be due; in either case stop here.
+            if probe is not None and probe(now):
+                return vnow
+            if deadline is not None and vnow >= deadline:
+                return vnow
+
+        thread = self._current[priority]
+        if priority is Priority.BACKGROUND and thread is None:
+            thread = _Thread(Priority.BACKGROUND)
+            self._current[Priority.BACKGROUND] = thread
+        assert thread is not None
+        return self._run_block(priority, thread, vnow, deadline, probe)
+
+    def _tick_reference(self, now: int) -> Optional[int]:
+        """The per-step scheduler: one dispatch/restart/instruction."""
         if self.halted:
             return None
         if self._spill:
@@ -422,6 +491,105 @@ class Mdp:
             self._current[Priority.BACKGROUND] = thread
         assert thread is not None
         return now + self._execute_one(priority, thread, now)
+
+    def _run_block(
+        self,
+        priority: Priority,
+        thread: _Thread,
+        vnow: int,
+        deadline: Optional[int],
+        probe: Optional[Callable[[int], bool]],
+    ) -> int:
+        """Run straight-line instructions until a block boundary.
+
+        Replicates :meth:`_execute_one` per instruction — same charge
+        order, same fault handling, same counter updates — but without
+        re-entering the scheduler between instructions.
+        """
+        regset = self.registers[priority]
+        decoded = self._decoded
+        decoded_get = decoded.get
+        code_get = self.code.get
+        counters = self.counters.__dict__
+        meter = self.memory.meter
+        current = self._current
+        self._active_priority = priority
+        self._suspended_by_fault = False
+        self._woke = False
+
+        while True:
+            if deadline is not None and vnow >= deadline:
+                break
+            addr = regset.ip
+            dec = decoded_get(addr)
+            if dec is None:
+                instr = code_get(addr)
+                if instr is None:
+                    raise IllegalInstructionFault(
+                        f"node {self.node_id}: no instruction at {addr}"
+                    )
+                dec = compile_instr(self, addr, instr)
+                decoded[addr] = dec
+            runner, cat_key, base, boundary, writes = dec
+
+            if runner is None:
+                # Operand form the compiler does not handle: run this one
+                # instruction through the reference interpreter and end
+                # the block (conservative, and vanishingly rare).
+                start = vnow
+                vnow += self._execute_one(priority, thread, vnow)
+                if probe is not None:
+                    probe(start)
+                break
+
+            regset.ip = addr + 1
+            meter.cycles = 0  # discard any stale charge
+
+            start = vnow
+            try:
+                extra = runner(regset, vnow)
+            except SendFault as fault:
+                regset.ip = addr  # retry the send
+                meter.cycles = 0
+                self._current_instr_addr = addr
+                cost = self.fault_policy.on_send_fault(self, fault)
+                counters["stall_cycles"] += cost
+                vnow += cost
+                if probe is not None:
+                    probe(start)
+                break
+            except CfutFault as fault:
+                self._current_instr_addr = addr
+                cost = self.fault_policy.on_cfut(self, fault_address(fault), fault)
+                counters["sync_cycles"] += cost
+                meter.cycles = 0
+                vnow += cost
+                if probe is not None:
+                    probe(start)
+                break
+            except FutUseFault as fault:
+                self._current_instr_addr = addr
+                cost = self.fault_policy.on_fut_use(self, fault_address(fault), fault)
+                counters["sync_cycles"] += cost
+                meter.cycles = 0
+                vnow += cost
+                if probe is not None:
+                    probe(start)
+                break
+
+            mem_cycles = meter.cycles
+            meter.cycles = 0
+            cost = base + extra + mem_cycles
+            counters["instructions"] += 1
+            counters[cat_key] += cost
+            vnow += cost
+
+            if writes and probe is not None and probe(start):
+                break
+            if boundary or self._woke or current[priority] is None:
+                self._woke = False
+                break
+        return vnow
 
     def _do_dispatch(self, priority: Priority, now: int) -> int:
         """Hardware dispatch: 4 cycles from queue head to runnable thread."""
@@ -609,8 +777,12 @@ class Mdp:
         self._suspended_by_fault = True
 
     def _wake_watchers(self, address: int) -> None:
+        woke = False
         for suspended in self._watch.pop(address, []):
             self._runnable[suspended.priority].append(suspended)
+            woke = True
+        if woke:
+            self._woke = True
 
     # -- instruction semantics ---------------------------------------------------
 

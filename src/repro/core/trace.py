@@ -55,6 +55,7 @@ class Tracer:
         self.events: List[TraceEvent] = []
         self.dropped = 0
         self._original_tick = None
+        self._saved_fast_path = proc.fast_path
 
     @classmethod
     def attach(cls, proc: Mdp, limit: int = 10_000,
@@ -68,8 +69,12 @@ class Tracer:
         proc = self.proc
         original = proc.tick
         self._original_tick = original
+        # Tracing wants one instruction per tick; force the per-step
+        # reference path while attached (simulated timing is identical).
+        self._saved_fast_path = proc.fast_path
+        proc.fast_path = False
 
-        def traced_tick(now: int):
+        def traced_tick(now: int, deadline=None, probe=None):
             before = _snapshot(proc)
             result = original(now)
             self._record(now, before, _snapshot(proc))
@@ -82,6 +87,7 @@ class Tracer:
         if self._original_tick is not None:
             self.proc.tick = self._original_tick  # type: ignore[method-assign]
             self._original_tick = None
+            self.proc.fast_path = self._saved_fast_path
 
     # ------------------------------------------------------------ recording
 

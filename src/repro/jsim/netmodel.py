@@ -68,34 +68,48 @@ class LatencyModel:
         self._backlog_clear_time = 0.0
         self.messages = 0
         self.crossing_messages = 0
+        self._phits_per_word = costs.phits_per_word
+        #: (src, dst) -> (distance_cycles, crosses_midplane): hops and the
+        #: midplane test are pure functions of the pair, so the per-message
+        #: cost reduces to one dict probe plus the contention arithmetic.
+        self._pair_cache: dict = {}
 
     # -- utilization metering ------------------------------------------------
 
     def _utilization(self, now: int) -> float:
-        if now - self._bucket_start >= self.window:
-            self._prev_rate = self._bucket_words / max(
-                1, now - self._bucket_start
-            )
+        start = self._bucket_start
+        words = self._bucket_words
+        window = self.window
+        elapsed = now - start
+        if elapsed >= window:
+            self._prev_rate = words / (elapsed if elapsed > 1 else 1)
             self._bucket_start = now
             self._bucket_words = 0.0
-        elapsed = max(1, now - self._bucket_start)
-        blended = (self._bucket_words + self._prev_rate * self.window) / (
-            elapsed + self.window
-        )
-        return min(blended / self.capacity_words_per_cycle, 0.999)
+            words = 0.0
+            elapsed = 0
+        if elapsed < 1:
+            elapsed = 1
+        blended = (words + self._prev_rate * window) / (elapsed + window)
+        u = blended / self.capacity_words_per_cycle
+        return u if u < 0.999 else 0.999
 
     # -- the model ------------------------------------------------------------
 
     def latency(self, src: int, dst: int, length_words: int, now: int) -> int:
         """Cycles from launch at ``src`` to queued at ``dst``."""
         self.messages += 1
-        hops = self.mesh.hops(src, dst)
-        base = (
-            self.interface_cycles
-            + self.costs.hop * hops
-            + self.costs.phits_per_word * length_words
-        )
-        crossing = self.mesh.crosses_x_midplane(src, dst)
+        pair = (src, dst)
+        cached = self._pair_cache.get(pair)
+        if cached is None:
+            distance = self.interface_cycles + self.costs.hop * self.mesh.hops(
+                src, dst
+            )
+            if len(self._pair_cache) >= (1 << 20):
+                self._pair_cache.clear()  # bounded even on huge meshes
+            cached = (distance, self.mesh.crosses_x_midplane(src, dst))
+            self._pair_cache[pair] = cached
+        distance, crossing = cached
+        base = distance + self._phits_per_word * length_words
         if not crossing:
             # Local traffic sees only mild contention.
             u = self._utilization(now)

@@ -18,6 +18,8 @@ __all__ = ["CATEGORIES", "Profile"]
 #: The Figure 6 categories, in the paper's plotting order.
 CATEGORIES = ("compute", "xlate", "sync", "comm", "nnr")
 
+_CATEGORY_SET = frozenset(CATEGORIES)
+
 
 @dataclass
 class Profile:
@@ -33,9 +35,9 @@ class Profile:
     xlate_faults: int = 0
 
     def charge(self, category: str, cycles: int) -> None:
-        if category not in CATEGORIES:
+        if category not in _CATEGORY_SET:
             raise ValueError(f"unknown profile category {category!r}")
-        setattr(self, category, getattr(self, category) + cycles)
+        self.__dict__[category] += cycles
 
     @property
     def busy(self) -> int:

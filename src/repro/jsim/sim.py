@@ -23,14 +23,15 @@ scripted.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.costs import CostModel, DEFAULT_COSTS
 from ..core.errors import ConfigurationError, SimulationError
 from ..network.topology import Mesh3D
 from .netmodel import LatencyModel
-from .profile import Profile
+from .profile import Profile, _CATEGORY_SET
 
 __all__ = ["MacroSimulator", "Context", "SimNode", "HandlerStats", "MacroConfig"]
 
@@ -88,7 +89,7 @@ class SimNode:
         self.busy_until = 0
         self.running = False
         # index 0: priority 0 FIFO; index 1: priority 1 FIFO.
-        self.queues: Tuple[List, List] = ([], [])
+        self.queues: Tuple[Deque, Deque] = (deque(), deque())
         self.profile = Profile()
         #: Application-owned per-node storage (the node's "memory").
         self.state: Dict[str, Any] = {}
@@ -106,21 +107,27 @@ class Context:
     cycles leaves 1000 cycles into the task.
     """
 
-    __slots__ = ("sim", "node", "start_time", "charged", "_handler_name")
+    __slots__ = ("sim", "node", "node_id", "start_time", "charged",
+                 "_handler_name", "_config", "_profile", "_stats")
 
     def __init__(self, sim: "MacroSimulator", node: SimNode, start_time: int,
                  handler_name: str) -> None:
         self.sim = sim
         self.node = node
+        self.node_id = node.node_id
         self.start_time = start_time
         self.charged = 0
         self._handler_name = handler_name
+        # Hoisted once per task: charge()/send() run millions of times
+        # per application, and these three indirections dominated them.
+        # _profile is the Profile's attribute dict so category charges
+        # are plain dict updates (the keys are validated against the
+        # category set, exactly as Profile.charge does).
+        self._config = sim.config
+        self._profile = node.profile.__dict__
+        self._stats = sim.handler_stats[handler_name]
 
     # -- identity ----------------------------------------------------------
-
-    @property
-    def node_id(self) -> int:
-        return self.node.node_id
 
     @property
     def n_nodes(self) -> int:
@@ -145,37 +152,41 @@ class Context:
     ) -> None:
         """Account for ``instructions`` of work (or explicit ``cycles``)."""
         if cycles is None:
-            cycles = int(round(instructions * self.sim.config.cycles_per_instruction))
-        self.node.profile.charge(category, cycles)
-        self.node.profile.instructions += instructions
+            cycles = int(round(instructions * self._config.cycles_per_instruction))
+        if category not in _CATEGORY_SET:
+            raise ValueError(f"unknown profile category {category!r}")
+        profile = self._profile
+        profile[category] += cycles
+        profile["instructions"] += instructions
         self.charged += cycles
-        stats = self.sim.handler_stats[self._handler_name]
+        stats = self._stats
         stats.instructions += instructions
         stats.cycles += cycles
 
     def xlate(self, count: int = 1, fault: bool = False) -> None:
         """Charge ``count`` name translations (Table 5's xlate columns)."""
-        config = self.sim.config
+        config = self._config
         cycles = count * (config.xlate_fault_cycles if fault else config.xlate_cycles)
-        self.node.profile.charge("xlate", cycles)
-        self.node.profile.xlate_count += count
+        profile = self._profile
+        profile["xlate"] += cycles
+        profile["xlate_count"] += count
         if fault:
-            self.node.profile.xlate_faults += count
+            profile["xlate_faults"] += count
         self.charged += cycles
-        self.sim.handler_stats[self._handler_name].cycles += cycles
+        self._stats.cycles += cycles
 
     def nnr(self, count: int = 1) -> None:
         """Charge node-index-to-router-address conversions (Figure 6)."""
-        cycles = count * self.sim.config.nnr_cycles
-        self.node.profile.charge("nnr", cycles)
+        cycles = count * self._config.nnr_cycles
+        self._profile["nnr"] += cycles
         self.charged += cycles
-        self.sim.handler_stats[self._handler_name].cycles += cycles
+        self._stats.cycles += cycles
 
     def sync(self, cycles: int) -> None:
         """Charge synchronization overhead (suspends, null yields)."""
-        self.node.profile.charge("sync", cycles)
+        self._profile["sync"] += cycles
         self.charged += cycles
-        self.sim.handler_stats[self._handler_name].cycles += cycles
+        self._stats.cycles += cycles
 
     # -- communication ----------------------------------------------------------
 
@@ -188,17 +199,17 @@ class Context:
         priority: int = 0,
     ) -> None:
         """Send a message; the sender pays injection overhead now."""
-        sim = self.sim
         if length is None:
             length = 1 + len(args)
-        config = sim.config
+        config = self._config
         overhead = config.send_overhead_cycles + int(
             round(config.send_per_word_cycles * length)
         )
-        self.node.profile.charge("comm", overhead)
+        self._profile["comm"] += overhead
         self.charged += overhead
-        sim.handler_stats[self._handler_name].cycles += overhead
-        sim.post(self.node_id, dest, handler, args, length, priority, self.now)
+        self._stats.cycles += overhead
+        self.sim.post(self.node_id, dest, handler, args, length, priority,
+                      self.start_time + self.charged)
 
     def call_local(self, handler: str, *args: Any, length: Optional[int] = None,
                    priority: int = 0) -> None:
@@ -229,7 +240,10 @@ class MacroSimulator:
         self.now = 0
         self.end_time = 0
         self.messages_sent = 0
-        self._events: List[Tuple[int, int, int, str, tuple, int]] = []
+        # Flat event tuples: (time, seq, kind, dest, handler, args,
+        # length, priority); COMPLETE events carry placeholder fields.
+        self._events: List[Tuple[int, int, int, int, Optional[str], tuple,
+                                 int, int]] = []
         self._seq = 0
 
     # -- setup --------------------------------------------------------------
@@ -272,10 +286,12 @@ class MacroSimulator:
         # Never schedule into the past (a host inject with a stale `at`
         # must not make simulated time run backwards).
         arrival = max(send_time + latency, self.now)
+        # Events are flat tuples (no nested payload): the run loop unpacks
+        # one per message, so avoiding the inner allocation is measurable.
         heapq.heappush(
             self._events,
             (arrival, self._seq, self._ARRIVAL, dest,
-             (handler, args, length), priority),
+             handler, args, length, priority),
         )
         self._seq += 1
 
@@ -303,22 +319,22 @@ class MacroSimulator:
         preempted (priority-1 work waits for the task boundary, which is
         exactly how the paper's TSP yields to bound updates).
         """
-        queue = node.queues[1] if node.queues[1] else node.queues[0]
-        handler_name, args = queue.pop(0)
-        stats = self.handler_stats[handler_name]
-        stats.invocations += 1
-        node.profile.charge("comm", self.config.dispatch_cycles)
-        ctx = Context(self, node, start + self.config.dispatch_cycles,
-                      handler_name)
+        queues = node.queues
+        queue = queues[1] if queues[1] else queues[0]
+        handler_name, args = queue.popleft()
+        self.handler_stats[handler_name].invocations += 1
+        dispatch = self.config.dispatch_cycles
+        node.profile.__dict__["comm"] += dispatch
+        ctx = Context(self, node, start + dispatch, handler_name)
         self.handlers[handler_name](ctx, *args)
-        end = ctx.now
+        end = ctx.start_time + ctx.charged
         node.busy_until = end
         node.running = True
         if end > self.end_time:
             self.end_time = end
         heapq.heappush(
             self._events,
-            (end, self._seq, self._COMPLETE, node.node_id, None, 0),
+            (end, self._seq, self._COMPLETE, node.node_id, None, (), 0, 0),
         )
         self._seq += 1
 
@@ -330,27 +346,34 @@ class MacroSimulator:
         application's run time if the host injected the kickoff at 0.
         """
         events = self._events
+        nodes = self.nodes
+        handler_stats = self.handler_stats
+        heappop = heapq.heappop
+        complete = self._COMPLETE
+        start_task = self._start_task
         processed = 0
         while events:
-            time, _, kind, dest, payload, priority = heapq.heappop(events)
+            time, _, kind, dest, handler_name, args, length, priority = (
+                heappop(events)
+            )
             if max_time is not None and time > max_time:
                 break
             self.now = time
-            node = self.nodes[dest]
-            if kind == self._COMPLETE:
+            node = nodes[dest]
+            queues = node.queues
+            if kind == complete:
                 node.running = False
-                if node.queues[0] or node.queues[1]:
-                    self._start_task(node, time)
+                if queues[0] or queues[1]:
+                    start_task(node, time)
             else:
-                handler_name, args, length = payload
                 node.messages_received += 1
-                self.handler_stats[handler_name].message_words += length
-                node.queues[1 if priority else 0].append((handler_name, args))
-                depth = len(node.queues[0]) + len(node.queues[1])
+                handler_stats[handler_name].message_words += length
+                queues[1 if priority else 0].append((handler_name, args))
+                depth = len(queues[0]) + len(queues[1])
                 if depth > node.queue_high_water:
                     node.queue_high_water = depth
                 if not node.running and node.busy_until <= time:
-                    self._start_task(node, time)
+                    start_task(node, time)
             processed += 1
             if processed >= max_events:
                 raise SimulationError("macro simulation exceeded max_events")

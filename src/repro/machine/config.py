@@ -46,6 +46,10 @@ class MachineConfig:
     #: Network flow control: "block" (wormhole backpressure, the real
     #: machine) or "return_to_sender" (the critique's proposal).
     flow_control: str = "block"
+    #: Use the pre-decoded block executor (cycle-exact, several times
+    #: faster).  Disable to run the per-instruction reference
+    #: interpreter instead; results are identical either way.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if any(d <= 0 for d in self.dims):

@@ -143,16 +143,64 @@ class JMachine:
                 raise
             self._schedule_proc(node_id, self.now)
 
-    def _tick_procs(self) -> None:
-        while self._proc_heap and self._proc_heap[0][0] <= self.now:
-            when, node_id = heapq.heappop(self._proc_heap)
+    def _tick_procs(
+        self,
+        limit: Optional[int] = None,
+        probe: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        now = self.now
+        heap = self._proc_heap
+        fabric = self.fabric
+        while heap and heap[0][0] <= now:
+            when, node_id = heapq.heappop(heap)
             node = self.nodes[node_id]
             if node.next_tick != when:
                 continue  # stale entry
             node.next_tick = None
-            nxt = node.proc.tick(self.now)
+            proc = node.proc
+            if proc.fast_path:
+                # fabric.active re-read per pop: an earlier block in this
+                # same pass may have launched a worm.
+                nxt = proc.tick(
+                    now, self._block_deadline(limit, probe, fabric.active), probe
+                )
+            else:
+                nxt = proc.tick(now)
             if nxt is not None:
-                self._schedule_proc(node_id, max(nxt, self.now + 1))
+                self._schedule_proc(node_id, max(nxt, now + 1))
+
+    def _block_deadline(
+        self,
+        limit: Optional[int],
+        probe: Optional[Callable[[int], bool]],
+        fabric_busy: bool,
+    ) -> Optional[int]:
+        """How far a fast-path block may run ahead of the global clock.
+
+        The bound keeps run-ahead invisible: a block may only batch
+        through virtual time the rest of the machine is guaranteed not to
+        touch.  While the fabric has worms in flight it can free send
+        buffers or complete deliveries any cycle, so blocks collapse to
+        the reference's one-step-per-pass; otherwise the next staged
+        delivery commit bounds the block.  When an ``until`` predicate is
+        active (``probe`` set), blocks are additionally capped at the
+        next pending processor's tick time, which keeps *all* execution
+        ordered by virtual time so the predicate observes exact state.
+        """
+        if fabric_busy:
+            return self.now + 1
+        deadline = limit
+        if self._delivery_heap:
+            commit = self._delivery_heap[0][0]
+            if deadline is None or commit < deadline:
+                deadline = commit
+        if probe is not None and self._proc_heap:
+            peer = self._proc_heap[0][0]
+            if peer <= self.now:
+                peer = self.now + 1
+            if deadline is None or peer < deadline:
+                deadline = peer
+        return deadline
 
     # ------------------------------------------------------------------- run
 
@@ -168,13 +216,38 @@ class JMachine:
         machine would never do anything again without external input.
         """
         limit = self.now + max_cycles
+        probe: Optional[Callable[[int], bool]] = None
+        fired: List[Optional[int]] = [None]
+        if until is not None:
+
+            def probe(vtime: int) -> bool:
+                # Fast-path blocks call this after state-changing work;
+                # vtime is the virtual cycle the change happened at, which
+                # may be ahead of self.now inside a batched block.
+                if until(self):
+                    if fired[0] is None or vtime < fired[0]:
+                        fired[0] = vtime
+                    return True
+                return False
+
         while self.now < limit:
             self._commit_deliveries()
             if self.fabric.active:
                 self.fabric.step(self.now)
-            self._tick_procs()
-            if until is not None and until(self):
-                return self.now
+            self._tick_procs(limit, probe)
+            if until is not None:
+                fired_at = fired[0]
+                if fired_at is not None and fired_at > self.now:
+                    # The predicate flipped inside a batched block, at a
+                    # virtual time this pass had not reached yet.  All
+                    # other work is scheduled strictly later (the block
+                    # deadline guarantees it), so the machine state *is*
+                    # the reference state at that cycle.
+                    self.now = fired_at
+                    return self.now
+                if until(self):
+                    return self.now
+                fired[0] = None
             if self.fabric.active:
                 self.now += 1
                 continue

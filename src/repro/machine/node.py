@@ -122,6 +122,7 @@ class Node:
             ),
             queue_words=config.queue_words,
             network=self.interface,
+            fast_path=config.fast_path,
         )
         self.proc.spill_enabled = config.queue_overflow_spills
         #: Next scheduled tick time, or None when parked (machine-owned).

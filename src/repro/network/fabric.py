@@ -42,7 +42,7 @@ from ..core.costs import CostModel, DEFAULT_COSTS
 from ..core.errors import ConfigurationError
 from ..core.message import Message
 from ..core.registers import Priority
-from .routing import ChannelKey, INJECT, ecube_route, route_hops
+from .routing import ChannelKey, INJECT, route
 from .stats import NetworkStats
 from .topology import Mesh3D
 
@@ -71,7 +71,7 @@ class Worm:
     """One message in flight: a worm of phits snaking through the mesh."""
 
     __slots__ = (
-        "message", "path", "keys", "total_phits", "head", "released",
+        "message", "path", "keys", "hops", "total_phits", "head", "released",
         "injected", "delivered", "reserved", "submit_time", "launch_time",
         "seq", "block_cycles", "crosses_bisection", "done",
     )
@@ -79,17 +79,19 @@ class Worm:
     def __init__(
         self,
         message: Message,
-        path: List[ChannelKey],
+        path: Tuple[ChannelKey, ...],
+        keys: Tuple[Tuple[int, int, int, int], ...],
+        hops: int,
         total_phits: int,
         crosses_bisection: bool,
         seq: int,
     ) -> None:
         self.message = message
+        #: Shared route tuples from the fabric's per-pair cache; worms
+        #: must never mutate them.
         self.path = path
-        pclass = int(message.priority)
-        self.keys: List[Tuple[int, int, int, int]] = [
-            (node, dim, direction, pclass) for (node, dim, direction) in path
-        ]
+        self.keys = keys
+        self.hops = hops
         self.total_phits = total_phits
         self.head = -1          # index of furthest acquired channel
         self.released = 0       # channels [0, released) have been freed
@@ -102,10 +104,6 @@ class Worm:
         self.block_cycles = 0
         self.crosses_bisection = crosses_bisection
         self.done = False
-
-    @property
-    def hops(self) -> int:
-        return route_hops(self.path)
 
 
 class Fabric:
@@ -148,6 +146,14 @@ class Fabric:
         self._active: List[Worm] = []
         self._pending: Dict[Tuple[int, int], Deque[Worm]] = {}
         self._staged: List[Tuple[int, Worm]] = []  # (release_time, worm)
+        #: (source, dest, pclass) -> (path, keys, hops, crosses): the
+        #: route is a pure function of the pair, so recomputing it per
+        #: message is wasted work on all-to-all traffic.
+        self._route_cache: Dict[
+            Tuple[int, int, int],
+            Tuple[Tuple[ChannelKey, ...], Tuple[Tuple[int, int, int, int], ...],
+                  int, bool],
+        ] = {}
         self._seq = 0
         self.stats = NetworkStats(mesh)
         #: Optional callback fired once per worm when its tail has fully
@@ -181,10 +187,23 @@ class Fabric:
     def _make_worm(self, message: Message, now: int) -> Worm:
         if not 0 <= message.dest < self.mesh.n_nodes:
             raise ConfigurationError(f"destination {message.dest} outside mesh")
-        path = ecube_route(self.mesh, message.source, message.dest)
+        pclass = int(message.priority)
+        cache_key = (message.source, message.dest, pclass)
+        entry = self._route_cache.get(cache_key)
+        if entry is None:
+            path = route(self.mesh, message.source, message.dest)
+            keys = tuple(
+                (node, dim, direction, pclass)
+                for (node, dim, direction) in path
+            )
+            crosses = self.mesh.crosses_x_midplane(message.source, message.dest)
+            if len(self._route_cache) >= (1 << 17):
+                self._route_cache.clear()  # bounded even on huge meshes
+            entry = (path, keys, len(path) - 2, crosses)
+            self._route_cache[cache_key] = entry
+        path, keys, hops, crosses = entry
         total_phits = self.costs.phits_per_word * message.length + FRAMING_PHITS
-        crosses = self.mesh.crosses_x_midplane(message.source, message.dest)
-        worm = Worm(message, path, total_phits, crosses, self._seq)
+        worm = Worm(message, path, keys, hops, total_phits, crosses, self._seq)
         self._seq += 1
         worm.submit_time = now
         if message.inject_time is None:

@@ -16,11 +16,13 @@ Injection and ejection ports are represented with dim = ``INJECT`` /
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
+from ..core.errors import ConfigurationError
 from .topology import Mesh3D
 
-__all__ = ["ChannelKey", "INJECT", "EJECT", "ecube_route", "route_hops"]
+__all__ = ["ChannelKey", "INJECT", "EJECT", "ecube_route", "route", "route_hops"]
 
 #: Pseudo-dimension for the processor-to-router injection port.
 INJECT = 3
@@ -39,13 +41,36 @@ def ecube_route(mesh: Mesh3D, source: int, dest: int) -> List[ChannelKey]:
     in strict X, then Y, then Z order.  A self-addressed message routes
     through the local router only (inject then eject), which is how the
     paper's self-ping baseline works.
+
+    Routes are deterministic functions of (dims, source, dest), so they
+    are memoized; the hot path (:func:`route`) returns a shared immutable
+    tuple, and this list-returning wrapper keeps the original mutable
+    contract for existing callers.
     """
+    return list(route(mesh, source, dest))
+
+
+def route(mesh: Mesh3D, source: int, dest: int) -> Tuple[ChannelKey, ...]:
+    """Memoized :func:`ecube_route`; the tuple is shared, do not mutate."""
+    return _cached_route(mesh.dims, source, dest)
+
+
+@lru_cache(maxsize=1 << 18)
+def _cached_route(
+    dims: Tuple[int, int, int], source: int, dest: int
+) -> Tuple[ChannelKey, ...]:
+    x_dim, y_dim, z_dim = dims
+    n_nodes = x_dim * y_dim * z_dim
+    for node in (source, dest):
+        if not 0 <= node < n_nodes:
+            raise ConfigurationError(f"node {node} outside mesh of {n_nodes}")
     path: List[ChannelKey] = [(source, INJECT, 0)]
-    x_dim, y_dim, _ = mesh.dims
-    sx, sy, sz = mesh.coord(source)
-    dx, dy, dz = mesh.coord(dest)
-    here = [sx, sy, sz]
-    target = (dx, dy, dz)
+    sx = source % x_dim
+    rest = source // x_dim
+    dx = dest % x_dim
+    drest = dest // x_dim
+    here = [sx, rest % y_dim, rest // y_dim]
+    target = (dx, drest % y_dim, drest // y_dim)
     for dim in range(3):
         step = 1 if target[dim] > here[dim] else -1
         while here[dim] != target[dim]:
@@ -53,7 +78,7 @@ def ecube_route(mesh: Mesh3D, source: int, dest: int) -> List[ChannelKey]:
             path.append((node, dim, step))
             here[dim] += step
     path.append((dest, EJECT, 0))
-    return path
+    return tuple(path)
 
 
 def route_hops(path: List[ChannelKey]) -> int:

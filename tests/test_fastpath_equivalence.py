@@ -1,0 +1,156 @@
+"""Fast-path vs reference-interpreter equivalence.
+
+The fast path (``MachineConfig(fast_path=True)``, the default) batches
+straight-line instruction runs into single Python calls; the reference
+path interprets one instruction per ``tick``.  The contract is *cycle
+exactness*: finish times, instruction counts, every counter, registers,
+and memory must be bit-identical between the two.  These tests enforce
+that contract on the full runtime suite (RPC ping, combining-tree
+reduction, butterfly barrier), a cycle-level application, and — via
+Hypothesis — on randomly generated straight-line programs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asm.assembler import assemble
+from repro.core.processor import Mdp
+from repro.core.registers import Priority, DATA_REG_NAMES, ADDR_REG_NAMES
+from repro.core.word import Word
+from repro.machine.config import MachineConfig
+from repro.machine.jmachine import JMachine
+from repro.runtime.barrier import run_barrier_experiment
+from repro.runtime.reduce import run_reduction
+from repro.runtime.rpc import run_ping
+
+
+def _machine_counters(machine):
+    return [dict(node.proc.counters.__dict__) for node in machine.nodes]
+
+
+def _both(run):
+    """Run ``run(machine)`` on a fast and a slow machine; return both."""
+    out = []
+    for fast in (True, False):
+        result = run(fast)
+        out.append(result)
+    return out
+
+
+# ---------------------------------------------------------------- runtime
+
+
+def test_ping_identical():
+    def run(fast):
+        machine = JMachine(MachineConfig(dims=(4, 4, 4), fast_path=fast))
+        result = run_ping(machine, 0, 63, iterations=10)
+        return (machine.now, result.total_cycles, result.iterations,
+                _machine_counters(machine))
+
+    fast, slow = _both(run)
+    assert fast == slow
+
+
+def test_barrier_identical():
+    def run(fast):
+        machine = JMachine(MachineConfig(dims=(2, 2, 2), fast_path=fast))
+        result = run_barrier_experiment(machine, barriers=3)
+        return (machine.now, result.total_cycles, result.barriers,
+                _machine_counters(machine))
+
+    fast, slow = _both(run)
+    assert fast == slow
+
+
+def test_reduction_identical():
+    def run(fast):
+        machine = JMachine(MachineConfig(dims=(2, 2, 2), fast_path=fast))
+        result = run_reduction(machine, values=list(range(1, 9)))
+        return (machine.now, result.total, result.cycles,
+                result.broadcast_complete, _machine_counters(machine))
+
+    fast, slow = _both(run)
+    assert fast == slow
+    assert fast[1] == sum(range(1, 9))
+
+
+def test_cycle_radix_identical():
+    from repro.apps.radix_cycle import run_cycle_radix
+
+    keys = [(7 * i + 3) % 16 for i in range(16)]
+    fast = run_cycle_radix(4, list(keys), n_digits=2, fast_path=True)
+    slow = run_cycle_radix(4, list(keys), n_digits=2, fast_path=False)
+    assert fast == slow
+    assert fast.sorted_keys == sorted(keys)
+
+
+# ------------------------------------------------- random straight-line
+
+
+_REGS = st.sampled_from(DATA_REG_NAMES)
+_MEM = st.integers(0, 7).map(lambda k: f"[A0+{k}]")
+_IMM = st.integers(-16, 16).map(lambda v: f"#{v}")
+_NONZERO_IMM = st.integers(1, 16).map(lambda v: f"#{v}")
+_SRC = st.one_of(_REGS, _IMM, _MEM)
+_DST = st.one_of(_REGS, _MEM)
+
+_SAFE_ALU = st.sampled_from(
+    ("ADD", "SUB", "MUL", "AND", "OR", "XOR", "EQ", "NE", "LT", "LE",
+     "GT", "GE")
+)
+_DIVIDE = st.sampled_from(("DIV", "MOD"))
+_SHIFT = st.sampled_from(("ASH", "LSH"))
+_UNARY = st.sampled_from(("NOT", "NEG", "RTAG"))
+_NILADIC_DST = st.sampled_from(("MOVEID", "CYCLE"))
+
+_INSTR = st.one_of(
+    st.tuples(_SAFE_ALU, _SRC, _SRC, _DST).map(
+        lambda t: f"{t[0]} {t[1]}, {t[2]}, {t[3]}"),
+    # Divisors and shift counts come from small nonzero immediates so
+    # the generated program cannot fault or explode value widths.
+    st.tuples(_DIVIDE, _SRC, _NONZERO_IMM, _DST).map(
+        lambda t: f"{t[0]} {t[1]}, {t[2]}, {t[3]}"),
+    st.tuples(_SHIFT, _SRC, st.integers(-8, 8), _DST).map(
+        lambda t: f"{t[0]} {t[1]}, #{t[2]}, {t[3]}"),
+    st.tuples(_UNARY, _SRC, _DST).map(lambda t: f"{t[0]} {t[1]}, {t[2]}"),
+    st.tuples(_NILADIC_DST, _DST).map(lambda t: f"{t[0]} {t[1]}"),
+    st.tuples(st.just("MOVE"), _SRC, _DST).map(
+        lambda t: f"{t[0]} {t[1]}, {t[2]}"),
+    st.just("NOP"),
+)
+
+
+def _run_straight_line(body_lines, fast):
+    source = "start:\n" + "".join(f"    {line}\n" for line in body_lines)
+    source += "    HALT\n"
+    proc = Mdp(node_id=0, fast_path=fast)
+    program = assemble(source)
+    program.load(proc)
+    base = program.end + 4
+    for i in range(8):
+        proc.memory.poke(base + i, Word.from_int(3 * i - 5))
+    regs = proc.registers[Priority.BACKGROUND]
+    for i, name in enumerate(DATA_REG_NAMES):
+        regs.write(name, Word.from_int(i + 1))
+    regs.write("A0", Word.segment(base, 8))
+    proc.set_background(program.entry("start"))
+    now = 0
+    ticks = 0
+    while not proc.halted:
+        now = proc.tick(now)
+        ticks += 1
+        assert ticks < 10_000
+    return (
+        now,
+        dict(proc.counters.__dict__),
+        {name: repr(regs.regs[name])
+         for name in DATA_REG_NAMES + ADDR_REG_NAMES},
+        [repr(proc.memory.peek(base + i)) for i in range(8)],
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_INSTR, min_size=1, max_size=24))
+def test_random_straight_line_programs_identical(body):
+    fast = _run_straight_line(body, fast=True)
+    slow = _run_straight_line(body, fast=False)
+    assert fast == slow
