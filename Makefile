@@ -1,6 +1,7 @@
 # Convenience targets for the J-Machine reproduction.
 
-.PHONY: install test bench perfsmoke check paper report examples clean
+.PHONY: install test bench perfsmoke telemetry-gate check paper report \
+	examples clean
 
 install:
 	pip install -e .
@@ -17,8 +18,15 @@ perfsmoke:
 	PYTHONPATH=src python -m pytest benchmarks/bench_simulator_speed.py \
 		--benchmark-only --benchmark-json=BENCH_simspeed.json
 
-# The full gate: correctness suite plus the throughput smoke.
-check: test perfsmoke
+# Telemetry-overhead gate: attaching metrics-only telemetry must stay
+# within 3% of the uninstrumented loaded-fabric benchmark.  Reads the
+# perfsmoke output, so it re-measures first (docs/OBSERVABILITY.md).
+telemetry-gate: perfsmoke
+	PYTHONPATH=src python benchmarks/check_telemetry_overhead.py \
+		BENCH_simspeed.json
+
+# The full gate: correctness suite, throughput smoke, telemetry overhead.
+check: test telemetry-gate
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:

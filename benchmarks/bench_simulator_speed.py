@@ -64,11 +64,16 @@ def run_cycle_loop(fast_path=True):
     return proc.counters.instructions
 
 
-def run_loaded_fabric(fast_path=True):
-    from repro.core.registers import Priority
+def run_loaded_fabric(fast_path=True, telemetry=False):
     from repro.core.word import Word
 
-    machine = JMachine(MachineConfig(dims=(4, 4, 1), fast_path=fast_path))
+    rig = None
+    if telemetry:
+        from repro.telemetry import Telemetry
+
+        rig = Telemetry(events=False)  # the metrics-only production mode
+    machine = JMachine(MachineConfig(dims=(4, 4, 1), fast_path=fast_path),
+                       telemetry=rig)
     program = assemble(RING)
     machine.load(program)
     entry = program.entry("relay")
@@ -120,6 +125,20 @@ def test_cycle_simulator_slow_reference(benchmark):
 def test_loaded_fabric_throughput(benchmark):
     instructions = benchmark.pedantic(run_loaded_fabric, rounds=3,
                                       iterations=1)
+    assert instructions == RING_TOKENS * (RING_HOPS * 9 + 3)
+
+
+def test_loaded_fabric_metrics_only(benchmark):
+    """The instrumented-vs-off pair for the telemetry-overhead gate.
+
+    Metrics registration is pull-based (sampled only at snapshot), so
+    this must track ``test_loaded_fabric_throughput`` to within 3% —
+    ``make telemetry-gate`` compares the two entries in
+    ``BENCH_simspeed.json`` and fails the build otherwise.
+    """
+    instructions = benchmark.pedantic(run_loaded_fabric, rounds=3,
+                                      iterations=1,
+                                      kwargs={"telemetry": True})
     assert instructions == RING_TOKENS * (RING_HOPS * 9 + 3)
 
 

@@ -1,0 +1,50 @@
+"""The telemetry-overhead gate (``make telemetry-gate``).
+
+Reads the pytest-benchmark JSON written by ``make perfsmoke`` and
+compares the loaded-fabric benchmark with metrics-only telemetry
+attached against the uninstrumented run.  Registered metrics are pull
+sources — closures sampled only at snapshot time — so attaching a
+disabled-events :class:`~repro.telemetry.Telemetry` must be free.  The
+gate fails the build if the measured overhead exceeds 3%.
+
+Usage::
+
+    python benchmarks/check_telemetry_overhead.py BENCH_simspeed.json
+"""
+
+import json
+import sys
+
+BASELINE = "test_loaded_fabric_throughput"
+INSTRUMENTED = "test_loaded_fabric_metrics_only"
+LIMIT = 0.03
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_simspeed.json"
+    with open(path) as handle:
+        data = json.load(handle)
+    times = {}
+    for bench in data["benchmarks"]:
+        if bench["name"] in (BASELINE, INSTRUMENTED):
+            # min is the standard noise-resistant statistic: every other
+            # sample includes scheduling jitter on top of the true cost.
+            times[bench["name"]] = bench["stats"]["min"]
+    missing = {BASELINE, INSTRUMENTED} - set(times)
+    if missing:
+        print(f"telemetry gate: {path} lacks {sorted(missing)}; "
+              f"run 'make perfsmoke' first")
+        return 2
+    overhead = times[INSTRUMENTED] / times[BASELINE] - 1.0
+    print(f"telemetry gate: off={times[BASELINE]:.4f}s "
+          f"metrics-only={times[INSTRUMENTED]:.4f}s "
+          f"overhead={overhead:+.1%} (limit {LIMIT:.0%})")
+    if overhead > LIMIT:
+        print("telemetry gate: FAIL — disabled telemetry is not free")
+        return 1
+    print("telemetry gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -157,12 +157,13 @@ def scaling_analysis(n_nodes: int, params: LcsParams = LcsParams(),
 
 
 def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
-                 config: Optional[MacroConfig] = None) -> AppResult:
+                 config: Optional[MacroConfig] = None,
+                 telemetry=None) -> AppResult:
     """Run the systolic LCS on a macro-simulated machine and verify it."""
     if n_nodes < 1:
         raise ConfigurationError("need at least one node")
     a, b = generate_strings(params)
-    sim = MacroSimulator(n_nodes, config=config)
+    sim = MacroSimulator(n_nodes, config=config, telemetry=telemetry)
     chunks = _chunks(a, n_nodes)
     holders = [node for node in range(n_nodes) if chunks[node]]
     last_holder = holders[-1]

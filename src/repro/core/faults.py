@@ -89,6 +89,15 @@ class RuntimeFaultPolicy(FaultPolicy):
 
     def on_xlate_miss(self, proc: "Mdp", key: Word, fault: XlateMissFault) -> int:
         proc.amt.miss_fill(key)  # re-raises if genuinely unbound
+        if proc._events is not None:
+            # Single emission point covering both the reference
+            # interpreter and the fast-path XLATE runner.
+            priority = proc._active_priority
+            proc._events.emit(
+                "xlate-fault", proc._event_time, proc.node_id,
+                int(priority) if priority is not None else 0,
+                key=repr(key),
+            )
         return proc.costs.xlate_miss
 
     def on_send_fault(self, proc: "Mdp", fault: SendFault) -> int:

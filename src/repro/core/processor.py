@@ -293,6 +293,13 @@ class Mdp:
         self._woke = False
         #: Observers called as fn(proc, message) when a thread completes.
         self.on_thread_complete: List[Callable[["Mdp", Optional[Message]], None]] = []
+        #: Telemetry event bus, installed by repro.telemetry.wiring; None
+        #: keeps every emission site on its cheap ``is None`` branch.
+        self._events = None
+        #: Virtual time the current instruction started at — maintained
+        #: only while events are enabled, so suspension/thread-end events
+        #: carry timestamps identical between fast and reference paths.
+        self._event_time = 0
 
     # ------------------------------------------------------------------ setup
 
@@ -337,8 +344,14 @@ class Mdp:
         if self.spill_enabled and not queue.would_fit(message):
             self._spill.append(message)
             self.counters.spills += 1
+            if self._events is not None:
+                self._events.emit("queue-overflow", now, self.node_id,
+                                  int(message.priority), src=message.source)
             return
         queue.enqueue(message)
+        if self._events is not None:
+            self._events.emit("deliver", now, self.node_id,
+                              int(message.priority), src=message.source)
 
     def _refill_from_spill(self) -> int:
         """Move spilled messages back into the hardware queue.
@@ -450,7 +463,7 @@ class Mdp:
         if action == "dispatch":
             vnow += self._do_dispatch(priority, now)
         elif action == "restart":
-            vnow += self._do_restart(priority)
+            vnow += self._do_restart(priority, now)
         if action != "run":
             # The window pokes may have flipped the predicate or the
             # deadline may already be due; in either case stop here.
@@ -483,7 +496,7 @@ class Mdp:
         if action == "dispatch":
             return now + self._do_dispatch(priority, now)
         if action == "restart":
-            return now + self._do_restart(priority)
+            return now + self._do_restart(priority, now)
 
         thread = self._current[priority]
         if priority is Priority.BACKGROUND and thread is None:
@@ -513,6 +526,7 @@ class Mdp:
         counters = self.counters.__dict__
         meter = self.memory.meter
         current = self._current
+        events = self._events
         self._active_priority = priority
         self._suspended_by_fault = False
         self._woke = False
@@ -546,6 +560,8 @@ class Mdp:
             meter.cycles = 0  # discard any stale charge
 
             start = vnow
+            if events is not None:
+                self._event_time = start
             try:
                 extra = runner(regset, vnow)
             except SendFault as fault:
@@ -606,9 +622,13 @@ class Mdp:
         self._current[priority] = _Thread(priority, message=message)
         self.counters.dispatches += 1
         self._charge("dispatch", self.costs.dispatch)
+        if self._events is not None:
+            self._events.emit("dispatch", now, self.node_id, int(priority),
+                              name=f"handler@{message.handler_ip}",
+                              src=message.source)
         return self.costs.dispatch
 
-    def _do_restart(self, priority: Priority) -> int:
+    def _do_restart(self, priority: Priority, now: int) -> int:
         """Resume a suspended thread whose awaited value has arrived."""
         suspended = self._runnable[priority].pop(0)
         regset = self.registers[priority]
@@ -623,6 +643,9 @@ class Mdp:
         self._current[priority] = _Thread(priority, message=None)
         self.counters.restarts += 1
         self._charge("sync", suspended.restart_cycles)
+        if self._events is not None:
+            self._events.emit("restart", now, self.node_id, int(priority),
+                              name=f"restart@{suspended.ip}")
         return suspended.restart_cycles
 
     # -------------------------------------------------------------- execution
@@ -638,6 +661,8 @@ class Mdp:
         self._current_instr_addr = addr
         self._active_priority = priority
         self._suspended_by_fault = False
+        if self._events is not None:
+            self._event_time = now
         regset.ip = addr + 1
         self.memory.meter.take_cycles()  # discard any stale charge
 
@@ -775,6 +800,11 @@ class Mdp:
         self._current[priority] = None
         self.counters.suspends += 1
         self._suspended_by_fault = True
+        if self._events is not None:
+            # _event_time is the faulting instruction's start time, which
+            # is identical on the fast and reference paths.
+            self._events.emit("suspend", self._event_time, self.node_id,
+                              int(priority), addr=address)
 
     def _wake_watchers(self, address: int) -> None:
         woke = False
@@ -934,6 +964,9 @@ class Mdp:
                 self.queues[priority].dequeue()
             self._current[priority] = None
             self.counters.threads_completed += 1
+        if self._events is not None:
+            self._events.emit("thread-end", self._event_time, self.node_id,
+                              int(priority))
         for observer in self.on_thread_complete:
             observer(self, message)
 

@@ -66,6 +66,10 @@ class Tracer:
         return tracer
 
     def _splice(self) -> None:
+        if self._original_tick is not None:
+            return  # already attached; a re-entrant attach must not
+            # re-save fast_path (it is False while spliced) or wrap
+            # the already-wrapped tick.
         proc = self.proc
         original = proc.tick
         self._original_tick = original
@@ -83,11 +87,26 @@ class Tracer:
         proc.tick = traced_tick  # type: ignore[method-assign]
 
     def detach(self) -> None:
-        """Restore the processor's untraced tick."""
-        if self._original_tick is not None:
-            self.proc.tick = self._original_tick  # type: ignore[method-assign]
-            self._original_tick = None
+        """Restore the processor's untraced tick and fast-path setting.
+
+        Safe to call more than once, and ``fast_path`` is restored even
+        if un-splicing fails partway — so a detach in an ``except`` or
+        ``finally`` block after a run raised always leaves the processor
+        in its original configuration.
+        """
+        try:
+            if self._original_tick is not None:
+                self.proc.tick = self._original_tick  # type: ignore[method-assign]
+                self._original_tick = None
+        finally:
             self.proc.fast_path = self._saved_fast_path
+
+    def __enter__(self) -> "Tracer":
+        self._splice()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
 
     # ------------------------------------------------------------ recording
 

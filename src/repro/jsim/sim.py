@@ -226,6 +226,7 @@ class MacroSimulator:
         config: Optional[MacroConfig] = None,
         costs: CostModel = DEFAULT_COSTS,
         mesh: Optional[Mesh3D] = None,
+        telemetry=None,
     ) -> None:
         self.mesh = mesh if mesh is not None else Mesh3D.for_nodes(n_nodes)
         if self.mesh.n_nodes != n_nodes:
@@ -245,6 +246,15 @@ class MacroSimulator:
         self._events: List[Tuple[int, int, int, int, Optional[str], tuple,
                                  int, int]] = []
         self._seq = 0
+        #: Attached telemetry rig (see :mod:`repro.telemetry`), or None.
+        #: ``_ebus`` is the event bus alone; the metric sources are
+        #: pull-based and never touch the run loop.
+        self.telemetry = telemetry
+        self._ebus = None
+        if telemetry is not None:
+            from ..telemetry.wiring import instrument_macro
+
+            instrument_macro(self, telemetry)
 
     # -- setup --------------------------------------------------------------
 
@@ -282,6 +292,9 @@ class MacroSimulator:
         if not 0 <= dest < self.n_nodes:
             raise SimulationError(f"destination {dest} out of range")
         self.messages_sent += 1
+        if self._ebus is not None:
+            self._ebus.emit("send", send_time, source, 1 if priority else 0,
+                            name=handler, dest=dest, words=length)
         latency = self.network.latency(source, dest, length, send_time)
         # Never schedule into the past (a host inject with a stale `at`
         # must not make simulated time run backwards).
@@ -320,7 +333,8 @@ class MacroSimulator:
         exactly how the paper's TSP yields to bound updates).
         """
         queues = node.queues
-        queue = queues[1] if queues[1] else queues[0]
+        priority = 1 if queues[1] else 0
+        queue = queues[priority]
         handler_name, args = queue.popleft()
         self.handler_stats[handler_name].invocations += 1
         dispatch = self.config.dispatch_cycles
@@ -328,6 +342,9 @@ class MacroSimulator:
         ctx = Context(self, node, start + dispatch, handler_name)
         self.handlers[handler_name](ctx, *args)
         end = ctx.start_time + ctx.charged
+        if self._ebus is not None:
+            self._ebus.emit("task", start, node.node_id, priority,
+                            name=handler_name, dur=end - start)
         node.busy_until = end
         node.running = True
         if end > self.end_time:
@@ -351,6 +368,7 @@ class MacroSimulator:
         heappop = heapq.heappop
         complete = self._COMPLETE
         start_task = self._start_task
+        ebus = self._ebus
         processed = 0
         while events:
             time, _, kind, dest, handler_name, args, length, priority = (
@@ -368,6 +386,9 @@ class MacroSimulator:
             else:
                 node.messages_received += 1
                 handler_stats[handler_name].message_words += length
+                if ebus is not None:
+                    ebus.emit("deliver", time, dest, 1 if priority else 0,
+                              name=handler_name)
                 queues[1 if priority else 0].append((handler_name, args))
                 depth = len(queues[0]) + len(queues[1])
                 if depth > node.queue_high_water:
@@ -380,6 +401,16 @@ class MacroSimulator:
         return self.end_time
 
     # -- reporting ---------------------------------------------------------------
+
+    def report(self, meta=None):
+        """Snapshot the run into a :class:`~repro.telemetry.SimReport`.
+
+        Works with or without an attached telemetry rig (the standard
+        metric sources are wired on the spot when absent).
+        """
+        from ..telemetry.report import SimReport
+
+        return SimReport.from_macro(self, meta)
 
     def aggregate_profile(self) -> Profile:
         total = Profile()

@@ -35,7 +35,8 @@ __all__ = ["JMachine"]
 class JMachine:
     """A complete simulated J-Machine."""
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 telemetry=None) -> None:
         self.config = config if config is not None else MachineConfig()
         self.mesh: Mesh3D = self.config.mesh()
         self.fabric = Fabric(
@@ -59,11 +60,18 @@ class JMachine:
         self._staged_messages: List[Optional[Message]] = []
         self._staged_words_per_node: List[int] = [0] * self.mesh.n_nodes
         self._seq = 0
+        #: Attached telemetry rig (see :mod:`repro.telemetry`), or None.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            from ..telemetry.wiring import instrument_machine
+
+            instrument_machine(self, telemetry)
 
     @staticmethod
-    def build(n_nodes: int, **config_overrides) -> "JMachine":
+    def build(n_nodes: int, telemetry=None, **config_overrides) -> "JMachine":
         """A machine of a standard size (1-1024 nodes)."""
-        return JMachine(MachineConfig.for_nodes(n_nodes, **config_overrides))
+        return JMachine(MachineConfig.for_nodes(n_nodes, **config_overrides),
+                        telemetry=telemetry)
 
     # ----------------------------------------------------------------- setup
 
@@ -214,6 +222,11 @@ class JMachine:
         Returns the cycle counter at stop.  "Quiescent" means no worms in
         flight, no staged deliveries, and every processor parked — the
         machine would never do anything again without external input.
+
+        The body runs under try/finally: even when a handler raises out
+        of the run (an illegal instruction, a queue overflow surfaced to
+        the host), end-of-run bookkeeping — the telemetry ``run-end``
+        event — still happens, so a partial trace is still loadable.
         """
         limit = self.now + max_cycles
         probe: Optional[Callable[[int], bool]] = None
@@ -230,36 +243,45 @@ class JMachine:
                     return True
                 return False
 
-        while self.now < limit:
-            self._commit_deliveries()
-            if self.fabric.active:
-                self.fabric.step(self.now)
-            self._tick_procs(limit, probe)
-            if until is not None:
-                fired_at = fired[0]
-                if fired_at is not None and fired_at > self.now:
-                    # The predicate flipped inside a batched block, at a
-                    # virtual time this pass had not reached yet.  All
-                    # other work is scheduled strictly later (the block
-                    # deadline guarantees it), so the machine state *is*
-                    # the reference state at that cycle.
-                    self.now = fired_at
-                    return self.now
-                if until(self):
-                    return self.now
-                fired[0] = None
-            if self.fabric.active:
-                self.now += 1
-                continue
-            next_times = []
-            if self._proc_heap:
-                next_times.append(self._proc_heap[0][0])
-            if self._delivery_heap:
-                next_times.append(self._delivery_heap[0][0])
-            if not next_times:
-                return self.now  # quiescent
-            self.now = max(self.now + 1, min(next_times))
-        return self.now
+        try:
+            while self.now < limit:
+                self._commit_deliveries()
+                if self.fabric.active:
+                    self.fabric.step(self.now)
+                self._tick_procs(limit, probe)
+                if until is not None:
+                    fired_at = fired[0]
+                    if fired_at is not None and fired_at > self.now:
+                        # The predicate flipped inside a batched block, at
+                        # a virtual time this pass had not reached yet.
+                        # All other work is scheduled strictly later (the
+                        # block deadline guarantees it), so the machine
+                        # state *is* the reference state at that cycle.
+                        self.now = fired_at
+                        return self.now
+                    if until(self):
+                        return self.now
+                    fired[0] = None
+                if self.fabric.active:
+                    self.now += 1
+                    continue
+                next_times = []
+                if self._proc_heap:
+                    next_times.append(self._proc_heap[0][0])
+                if self._delivery_heap:
+                    next_times.append(self._delivery_heap[0][0])
+                if not next_times:
+                    return self.now  # quiescent
+                self.now = max(self.now + 1, min(next_times))
+            return self.now
+        finally:
+            self._run_ended()
+
+    def _run_ended(self) -> None:
+        """End-of-run hook (normal return or raise): telemetry run-end."""
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.events is not None:
+            telemetry.events.emit("run-end", self.now, -1)
 
     def run_until_quiescent(self, max_cycles: int = 10_000_000) -> int:
         """Run to quiescence; raises if the limit is hit first."""
@@ -272,6 +294,16 @@ class JMachine:
         return end
 
     # ------------------------------------------------------------------ stats
+
+    def report(self, meta=None):
+        """Snapshot the machine into a :class:`~repro.telemetry.SimReport`.
+
+        Works with or without an attached telemetry rig (the standard
+        metric sources are wired on the spot when absent).
+        """
+        from ..telemetry.report import SimReport
+
+        return SimReport.from_machine(self, meta)
 
     def total_busy_cycles(self) -> int:
         return sum(node.proc.counters.busy_cycles for node in self.nodes)

@@ -169,6 +169,8 @@ class Fabric:
         #: raises with a diagnostic.  0 disables.
         self.watchdog_cycles = 0
         self._stagnant_cycles = 0
+        #: Telemetry event bus (installed by repro.telemetry.wiring).
+        self._events = None
 
     # ------------------------------------------------------------------ send
 
@@ -183,6 +185,10 @@ class Fabric:
         # Model the send-interface pipeline as a staging delay.
         self._staged.append((now + self.inject_latency, worm))
         self.stats.submitted += 1
+        if self._events is not None:
+            self._events.emit("send", now, message.source,
+                              int(message.priority), dest=message.dest,
+                              words=message.length)
 
     def _make_worm(self, message: Message, now: int) -> Worm:
         if not 0 <= message.dest < self.mesh.n_nodes:

@@ -10,7 +10,9 @@ this module documents once so every benchmark reports the same quantity.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+import math
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
 
 from ..core.costs import CLOCK_HZ, WORD_BITS
 
@@ -20,17 +22,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["NetworkStats", "LatencySummary"]
 
+#: Default histogram bucket upper bounds: powers of two up to ~1M cycles.
+#: Latencies in this simulator span a handful of cycles (one hop) to the
+#: hundreds of thousands (a saturated 512-node bisection), so a
+#: logarithmic scale keeps relative quantile error bounded everywhere.
+DEFAULT_BUCKET_BOUNDS = tuple(1 << k for k in range(21))
+
 
 class LatencySummary:
-    """Streaming mean/min/max over recorded latencies."""
+    """Streaming mean/min/max plus fixed-bucket quantile estimates.
 
-    __slots__ = ("count", "total", "min", "max")
+    Values land in fixed buckets (``bounds[i-1] < v <= bounds[i]``, with
+    one overflow bucket above the last bound), so memory is O(buckets)
+    regardless of sample count and summaries from different nodes can be
+    :meth:`merge`\\ d exactly.  Quantiles are bucket-resolution estimates:
+    :meth:`percentile` returns the upper bound of the bucket holding the
+    requested rank, clamped to the observed min/max.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("count", "total", "min", "max", "bounds", "buckets")
+
+    def __init__(self, bounds: Optional[Sequence[int]] = None) -> None:
         self.count = 0
         self.total = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        self.bounds = (DEFAULT_BUCKET_BOUNDS if bounds is None
+                       else tuple(bounds))
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.buckets = [0] * (len(self.bounds) + 1)
 
     def record(self, value: int) -> None:
         self.count += 1
@@ -39,10 +60,60 @@ class LatencySummary:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.buckets[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Bucket-resolution quantile estimate (0.0 when empty)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(self.count * fraction))
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                upper = (self.bounds[i] if i < len(self.bounds)
+                         else self.max)
+                return float(min(max(upper, self.min), self.max))
+        return float(self.max)  # pragma: no cover - bucket counts == count
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def merge(self, other: "LatencySummary") -> None:
+        """Fold another summary (e.g. a per-node one) into this one."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge summaries with different buckets")
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat scalar view (the telemetry registry's histogram format)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "p50": self.p50,
+            "p99": self.p99,
+        }
 
 
 class NetworkStats:

@@ -1,0 +1,67 @@
+"""CLI for inspecting and diffing saved run reports.
+
+Usage::
+
+    python -m repro.telemetry report run.json            # print a report
+    python -m repro.telemetry report a.json b.json       # diff two runs
+    python -m repro.telemetry report run.json --top 5 --suffix cycles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import SimReport
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = SimReport.load(args.run)
+    if args.baseline is not None:
+        baseline = SimReport.load(args.baseline)
+        print(f"# diff: a={args.run}  b={args.baseline}")
+        print(baseline.format_diff(report) if args.swap
+              else report.format_diff(baseline))
+        return 0
+    if args.top:
+        prefix = args.prefix if args.prefix.endswith(".") else args.prefix + "."
+        suffix = args.suffix if args.suffix.startswith(".") else "." + args.suffix
+        print(f"# top {args.top} by {prefix}*{suffix}")
+        for name, value in report.top(prefix, suffix, args.top):
+            print(f"{value:>14}  {name}")
+        return 0
+    print(report.format(limit=args.limit))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect and diff SimReport run artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="print or diff run reports")
+    report.add_argument("run", help="a SimReport JSON file")
+    report.add_argument("baseline", nargs="?", default=None,
+                        help="second report to diff against")
+    report.add_argument("--limit", type=int, default=None,
+                        help="show at most N metrics")
+    report.add_argument("--top", type=int, default=0,
+                        help="rank the N largest metrics matching "
+                             "--prefix/--suffix instead of listing all")
+    report.add_argument("--prefix", default="handler.",
+                        help="name prefix for --top (default: handler.)")
+    report.add_argument("--suffix", default=".cycles",
+                        help="name suffix for --top (default: .cycles)")
+    report.add_argument("--swap", action="store_true",
+                        help="diff with the baseline as the left column")
+    report.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""The structured event bus and its timeline exporters.
+
+Subsystems emit *typed* events — dispatches, suspensions, sends,
+deliveries, queue overflows, xlate faults — stamped with a simulated
+cycle, a node, and a priority level.  The bus stores them as flat tuples
+(bounded, with a drop counter) and renders them two ways:
+
+* **JSONL** (:meth:`EventBus.write_jsonl`): one JSON object per line,
+  trivially greppable and streamable into pandas/duckdb.
+* **Chrome trace-event format** (:meth:`EventBus.write_chrome_trace`):
+  a ``{"traceEvents": [...]}`` JSON loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``, with one process
+  track per node and one thread track per priority level, so a 512-node
+  run renders as a timeline.  Dispatch/restart open a slice on the
+  node's track; suspend/thread-end close it; sends, deliveries and
+  faults are instant markers; macro-level tasks are complete ("X")
+  slices with explicit durations.  Timestamps are simulated cycles
+  reported in the trace's microsecond field — read "1 us" as "1 cycle".
+
+Emission call sites are guarded: a subsystem holds ``None`` instead of a
+bus until telemetry wiring installs one, so the disabled cost is a single
+``is None`` test at per-message-rate sites and nothing at all per
+instruction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["EVENT_KINDS", "EventBus"]
+
+#: The typed event vocabulary.  ``emit`` rejects anything else, so a
+#: typo'd kind fails loudly at the instrumentation site.
+EVENT_KINDS = frozenset({
+    "dispatch",        # a queued message became a running thread
+    "restart",         # a suspended thread resumed
+    "suspend",         # a thread suspended on a presence fault
+    "thread-end",      # a thread retired (SUSPEND instruction)
+    "send",            # a message entered the network
+    "deliver",         # a message arrived at its destination node
+    "queue-overflow",  # a message spilled past the hardware queue
+    "xlate-fault",     # an AMT miss took the software reload path
+    "task",            # a macro-level handler execution (with duration)
+    "run-end",         # a run() call returned (or raised)
+})
+
+#: Chrome trace phase per kind; anything unlisted is an instant marker.
+_PHASES = {
+    "dispatch": "B",
+    "restart": "B",
+    "suspend": "E",
+    "thread-end": "E",
+    "task": "X",
+}
+
+_PRIORITY_NAMES = {0: "P0", 1: "P1", 2: "BG"}
+
+# Stored event tuple layout: (ts, kind, node, priority, name, dur, args).
+Event = Tuple[int, str, int, int, Optional[str], Optional[int],
+              Optional[Dict[str, Any]]]
+
+
+class EventBus:
+    """A bounded, append-only log of typed simulation events."""
+
+    __slots__ = ("limit", "events", "dropped")
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        self.limit = limit
+        self.events: List[Event] = []
+        self.dropped = 0
+
+    def emit(
+        self,
+        kind: str,
+        ts: int,
+        node: int,
+        priority: int = 0,
+        name: Optional[str] = None,
+        dur: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        """Record one event at simulated cycle ``ts`` on ``node``."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(
+            (int(ts), kind, node, int(priority), name, dur, args or None)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    # -- JSONL ---------------------------------------------------------------
+
+    def iter_dicts(self) -> Iterator[Dict[str, Any]]:
+        """Events as plain dicts, in emission order."""
+        for ts, kind, node, priority, name, dur, args in self.events:
+            record: Dict[str, Any] = {
+                "ts": ts, "kind": kind, "node": node, "priority": priority,
+            }
+            if name is not None:
+                record["name"] = name
+            if dur is not None:
+                record["dur"] = dur
+            if args:
+                record.update(args)
+            yield record
+
+    def write_jsonl(self, path: str) -> int:
+        """One JSON object per line; returns the number written."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.iter_dicts():
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+                count += 1
+        return count
+
+    # -- Chrome trace-event format -------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The ``{"traceEvents": [...]}`` dict Perfetto loads.
+
+        Tracks: ``pid`` = node id, ``tid`` = priority level (0 = P0,
+        1 = P1, 2 = background), with metadata events naming both.
+        Begin/end slices are kept structurally balanced: an end with no
+        open slice on its track demotes to an instant marker, and slices
+        still open when the log ends are closed at the last timestamp.
+        """
+        body: List[Dict[str, Any]] = []
+        depth: Dict[Tuple[int, int], int] = {}
+        tracks = set()
+        max_ts = 0
+        # Stable sort: fast-path blocks may append run-ahead virtual
+        # times before a peer's earlier ones; ties keep emission order.
+        for ts, kind, node, priority, name, dur, args in sorted(
+                self.events, key=lambda e: e[0]):
+            track = (node, priority)
+            tracks.add(track)
+            event: Dict[str, Any] = {
+                "name": name if name is not None else kind,
+                "cat": kind,
+                "ph": _PHASES.get(kind, "i"),
+                "ts": ts,
+                "pid": node,
+                "tid": priority,
+            }
+            if args:
+                event["args"] = args
+            ph = event["ph"]
+            if ph == "X":
+                event["dur"] = dur if dur is not None else 0
+            elif ph == "B":
+                depth[track] = depth.get(track, 0) + 1
+            elif ph == "E":
+                if depth.get(track, 0) > 0:
+                    depth[track] -= 1
+                else:
+                    event["ph"] = "i"
+                    event["s"] = "t"
+            if event["ph"] == "i":
+                event["s"] = "t"
+            end_ts = ts + (dur or 0)
+            if end_ts > max_ts:
+                max_ts = end_ts
+            body.append(event)
+        for (node, priority), open_slices in sorted(depth.items()):
+            for _ in range(open_slices):
+                body.append({
+                    "name": "(unterminated)", "cat": "span", "ph": "E",
+                    "ts": max_ts, "pid": node, "tid": priority,
+                })
+        meta: List[Dict[str, Any]] = []
+        for node in sorted({t[0] for t in tracks}):
+            meta.append({
+                "name": "process_name", "ph": "M", "ts": 0,
+                "pid": node, "tid": 0,
+                "args": {"name": f"node {node}"},
+            })
+        for node, priority in sorted(tracks):
+            meta.append({
+                "name": "thread_name", "ph": "M", "ts": 0,
+                "pid": node, "tid": priority,
+                "args": {"name": _PRIORITY_NAMES.get(priority,
+                                                     f"t{priority}")},
+            })
+        return {"traceEvents": meta + body, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Write the Perfetto-loadable JSON; returns the event count."""
+        trace = self.to_chrome_trace()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh)
+        return len(trace["traceEvents"])

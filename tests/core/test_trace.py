@@ -96,6 +96,93 @@ def test_detach_stops_recording():
     assert tracer.events == []
 
 
+def test_detach_restores_fast_path():
+    proc, program = load_processor("start:\n NOP\n HALT")
+    proc.fast_path = True
+    tracer = Tracer.attach(proc)
+    assert proc.fast_path is False  # forced off while attached
+    tracer.detach()
+    assert proc.fast_path is True
+
+
+def test_double_detach_keeps_fast_path():
+    """Regression: a second detach must not clobber the restored value."""
+    proc, program = load_processor("start:\n NOP\n HALT")
+    proc.fast_path = True
+    tracer = Tracer.attach(proc)
+    tracer.detach()
+    tracer.detach()
+    assert proc.fast_path is True
+    assert tracer._original_tick is None
+
+
+def test_reentrant_attach_is_noop():
+    """Regression: re-splicing must not save fast_path=False as the
+    original, nor wrap the already-wrapped tick."""
+    proc, program = load_processor("start:\n NOP\n HALT")
+    proc.fast_path = True
+    tracer = Tracer.attach(proc)
+    spliced_tick = proc.tick
+    tracer._splice()  # re-entrant attach
+    assert proc.tick is spliced_tick
+    tracer.detach()
+    assert proc.fast_path is True
+
+
+def test_detach_after_run_raises_restores_fast_path():
+    """A run that raises mid-trace must still leave the processor in its
+    configured fast-path mode after detach (try/finally discipline)."""
+    from repro.core.errors import IllegalInstructionFault
+
+    proc, program = load_processor("start:\n NOP\n HALT")
+    proc.fast_path = True
+    tracer = Tracer.attach(proc)
+    proc.set_background(9999)  # no instruction there -> faults on tick
+    with pytest.raises(IllegalInstructionFault):
+        proc.tick(0)
+    tracer.detach()
+    assert proc.fast_path is True
+
+
+def test_tracer_as_context_manager():
+    proc, program = load_processor("start:\n NOP\n HALT")
+    proc.fast_path = True
+    with Tracer.attach(proc) as tracer:
+        run_background(proc, program.entry("start"))
+    assert proc.fast_path is True
+    assert tracer.instructions()
+
+
+def test_context_manager_restores_on_raise():
+    proc, program = load_processor("start:\n NOP\n HALT")
+    proc.fast_path = True
+    with pytest.raises(RuntimeError):
+        with Tracer.attach(proc):
+            raise RuntimeError("boom")
+    assert proc.fast_path is True
+
+
+def test_machine_run_raise_leaves_trace_recoverable():
+    """End-to-end: JMachine.run raising does not lose the tracer's
+    ability to restore the processor (the run's finally + detach)."""
+    from repro.asm.assembler import assemble
+    from repro.core.errors import IllegalInstructionFault
+    from repro.machine.config import MachineConfig
+    from repro.machine.jmachine import JMachine
+
+    machine = JMachine(MachineConfig(dims=(2, 1, 1), fast_path=True))
+    program = assemble("handler:\n  BR #9999\n")
+    machine.load(program)
+    proc = machine.node(0).proc
+    tracer = Tracer.attach(proc)
+    machine.inject(0, program.entry("handler"))
+    with pytest.raises(IllegalInstructionFault):
+        machine.run(max_cycles=1000)
+    tracer.detach()
+    assert proc.fast_path is True
+    assert any(e.kind == "dispatch" for e in tracer.events)
+
+
 def test_format_renders_lines():
     proc, program = load_processor("start:\n NOP\n HALT")
     tracer = Tracer.attach(proc)

@@ -45,6 +45,33 @@ def test_idle_never_negative():
     assert profile.breakdown(100)["idle"] == 0.0
 
 
+def test_categories_match_fig6_plotting_order():
+    """bench/fig6.py stacks idle on top, then the categories bottom-up;
+    its column tuple must stay the reverse of CATEGORIES plus idle."""
+    from repro.bench.fig6 import BREAKDOWN_COLUMNS
+
+    assert BREAKDOWN_COLUMNS[0] == "idle"
+    assert tuple(reversed(BREAKDOWN_COLUMNS[1:])) == CATEGORIES
+
+
+def test_breakdown_covers_every_fig6_column():
+    from repro.bench.fig6 import BREAKDOWN_COLUMNS
+
+    profile = Profile()
+    for category in CATEGORIES:
+        profile.charge(category, 10)
+    breakdown = profile.breakdown(wall_cycles=100)
+    assert set(BREAKDOWN_COLUMNS) <= set(breakdown)
+
+
+def test_idle_is_wall_minus_busy():
+    profile = Profile()
+    profile.charge("compute", 40)
+    profile.charge("nnr", 25)
+    breakdown = profile.breakdown(wall_cycles=130)
+    assert breakdown["idle"] == pytest.approx((130 - profile.busy) / 130)
+
+
 def test_merge_combines_everything():
     a = Profile()
     a.charge("compute", 10)

@@ -29,6 +29,91 @@ class TestLatencySummary:
         assert summary.max == 60
 
 
+class TestPercentiles:
+    def test_empty_percentiles_are_zero(self):
+        summary = LatencySummary()
+        assert summary.p50 == 0.0
+        assert summary.p99 == 0.0
+
+    def test_single_value_all_percentiles(self):
+        summary = LatencySummary()
+        summary.record(37)
+        assert summary.p50 == 37
+        assert summary.p99 == 37
+        assert summary.percentile(0.0) == 37
+        assert summary.percentile(1.0) == 37
+
+    def test_bucket_resolution_estimate(self):
+        # Values 1..1000: p50's rank falls in the (256, 512] bucket, so
+        # the estimate is the bucket's upper bound.
+        summary = LatencySummary()
+        for value in range(1, 1001):
+            summary.record(value)
+        assert summary.p50 == 512
+        assert summary.p99 == 1000  # upper bound 1024 clamps to max
+
+    def test_percentile_clamps_to_observed_range(self):
+        summary = LatencySummary()
+        summary.record(3)
+        summary.record(3)
+        # bucket upper bound is 4, but 4 was never observed
+        assert summary.p99 == 3
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary().percentile(1.5)
+
+    def test_custom_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            LatencySummary(bounds=(4, 2, 8))
+        with pytest.raises(ValueError):
+            LatencySummary(bounds=(4, 4))
+
+    def test_overflow_bucket_uses_max(self):
+        summary = LatencySummary(bounds=(10,))
+        summary.record(5)
+        summary.record(500)
+        assert summary.p99 == 500
+
+
+class TestMerge:
+    def test_merge_is_exact(self):
+        """Merging per-node summaries equals one global summary."""
+        values_a = [3, 17, 90, 90, 1200]
+        values_b = [1, 64, 64, 700]
+        a, b, combined = LatencySummary(), LatencySummary(), LatencySummary()
+        for v in values_a:
+            a.record(v)
+            combined.record(v)
+        for v in values_b:
+            b.record(v)
+            combined.record(v)
+        a.merge(b)
+        assert a.snapshot() == combined.snapshot()
+        assert a.buckets == combined.buckets
+
+    def test_merge_empty_sides(self):
+        a, b = LatencySummary(), LatencySummary()
+        b.record(9)
+        a.merge(b)
+        assert a.count == 1 and a.min == 9 and a.max == 9
+        a.merge(LatencySummary())  # merging an empty one changes nothing
+        assert a.count == 1
+
+    def test_merge_rejects_different_buckets(self):
+        a = LatencySummary(bounds=(1, 2, 4))
+        b = LatencySummary()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_snapshot_keys(self):
+        summary = LatencySummary()
+        summary.record(8)
+        assert set(summary.snapshot()) == {
+            "count", "total", "mean", "min", "max", "p50", "p99",
+        }
+
+
 class TestWindow:
     def test_window_reset(self):
         stats = NetworkStats(Mesh3D(4, 4, 4))

@@ -1,0 +1,119 @@
+"""Unit tests for the event bus and its exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry.events import EVENT_KINDS, EventBus
+
+
+class TestEmit:
+    def test_unknown_kind_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.emit("frobnicate", 0, 0)
+
+    def test_limit_drops_and_counts(self):
+        bus = EventBus(limit=3)
+        for i in range(5):
+            bus.emit("send", i, 0)
+        assert len(bus) == 3
+        assert bus.dropped == 2
+
+    def test_clear(self):
+        bus = EventBus(limit=1)
+        bus.emit("send", 0, 0)
+        bus.emit("send", 1, 0)
+        bus.clear()
+        assert len(bus) == 0 and bus.dropped == 0
+
+    def test_all_kinds_accepted(self):
+        bus = EventBus()
+        for kind in EVENT_KINDS:
+            bus.emit(kind, 0, 0)
+        assert len(bus) == len(EVENT_KINDS)
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        bus = EventBus()
+        bus.emit("dispatch", 10, 3, 1, name="handler@64", src=2)
+        bus.emit("send", 12, 3, 0, dest=7, words=4)
+        path = tmp_path / "events.jsonl"
+        assert bus.write_jsonl(str(path)) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"ts": 10, "kind": "dispatch", "node": 3,
+                            "priority": 1, "name": "handler@64", "src": 2}
+        assert lines[1]["dest"] == 7 and lines[1]["words"] == 4
+
+
+class TestChromeTrace:
+    def test_structure(self, tmp_path):
+        """The acceptance-criteria structural check: traceEvents list,
+        ph/ts/pid/tid on every event."""
+        bus = EventBus()
+        bus.emit("dispatch", 0, 1, 0, name="h")
+        bus.emit("send", 4, 1, 0, dest=2)
+        bus.emit("thread-end", 9, 1, 0)
+        path = tmp_path / "trace.json"
+        bus.write_chrome_trace(str(path))
+        trace = json.loads(path.read_text())
+        assert isinstance(trace["traceEvents"], list)
+        assert trace["traceEvents"]
+        for event in trace["traceEvents"]:
+            assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
+
+    def test_tracks_are_node_by_priority(self):
+        bus = EventBus()
+        bus.emit("send", 0, 3, 1)
+        bus.emit("send", 0, 5, 0)
+        trace = bus.to_chrome_trace()
+        body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert {(e["pid"], e["tid"]) for e in body} == {(3, 1), (5, 0)}
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {(e["pid"], e["tid"], e["name"]): e["args"]["name"]
+                 for e in meta}
+        assert names[(3, 0, "process_name")] == "node 3"
+        assert names[(3, 1, "thread_name")] == "P1"
+        assert names[(5, 0, "thread_name")] == "P0"
+
+    def test_begin_end_balanced(self):
+        bus = EventBus()
+        bus.emit("dispatch", 0, 0, 0, name="h")
+        bus.emit("thread-end", 5, 0, 0)
+        trace = bus.to_chrome_trace()
+        phases = [e["ph"] for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert phases.count("B") == phases.count("E")
+
+    def test_unmatched_end_demotes_to_instant(self):
+        bus = EventBus()
+        bus.emit("thread-end", 5, 0, 0)  # no open slice on the track
+        trace = bus.to_chrome_trace()
+        body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert body[0]["ph"] == "i"
+
+    def test_unclosed_begin_is_terminated(self):
+        bus = EventBus()
+        bus.emit("dispatch", 0, 0, 0, name="h")
+        bus.emit("send", 30, 0, 0)
+        trace = bus.to_chrome_trace()
+        body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        ends = [e for e in body if e["ph"] == "E"]
+        assert len(ends) == 1
+        assert ends[0]["ts"] == 30  # closed at the last timestamp
+
+    def test_task_events_are_complete_slices(self):
+        bus = EventBus()
+        bus.emit("task", 10, 2, 0, name="NxtChar", dur=40)
+        trace = bus.to_chrome_trace()
+        body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert body[0]["ph"] == "X"
+        assert body[0]["dur"] == 40
+
+    def test_events_sorted_by_timestamp(self):
+        bus = EventBus()
+        bus.emit("send", 50, 0, 0)
+        bus.emit("send", 10, 1, 0)
+        trace = bus.to_chrome_trace()
+        body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert [e["ts"] for e in body] == [10, 50]

@@ -1,0 +1,104 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.network.stats import LatencySummary
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.snapshot() == 6
+
+    def test_gauge(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.snapshot() == 1.5
+
+    def test_histogram_wraps_latency_summary(self):
+        h = Histogram("x")
+        for v in (1, 10, 100):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 1 and snap["max"] == 100
+
+    def test_histogram_merge(self):
+        a, b = Histogram("x"), Histogram("x")
+        a.observe(4)
+        b.observe(9)
+        a.merge(b)
+        assert a.snapshot()["count"] == 2
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+
+    def test_source_name_conflicts_rejected(self):
+        reg = MetricsRegistry()
+        reg.register_source("s", lambda: 1)
+        with pytest.raises(ValueError):
+            reg.register_source("s", lambda: 2)
+        with pytest.raises(ValueError):
+            reg.counter("s")
+        reg.counter("c")
+        with pytest.raises(ValueError):
+            reg.register_source("c", lambda: 3)
+
+    def test_snapshot_is_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc(2)
+        reg.register_source("a.value", lambda: 7)
+        snap = reg.snapshot()
+        assert snap == {"a.value": 7, "z.count": 2}
+        assert list(snap) == sorted(snap)
+
+    def test_dict_source_expands_with_prefix(self):
+        reg = MetricsRegistry()
+        reg.register_source("node.0.proc", lambda: {"instructions": 5,
+                                                    "suspends": 1})
+        snap = reg.snapshot()
+        assert snap["node.0.proc.instructions"] == 5
+        assert snap["node.0.proc.suspends"] == 1
+
+    def test_latency_summary_source_expands(self):
+        summary = LatencySummary()
+        summary.record(16)
+        reg = MetricsRegistry()
+        reg.register_source("net.latency", lambda: summary)
+        snap = reg.snapshot()
+        assert snap["net.latency.count"] == 1
+        assert snap["net.latency.p50"] == 16
+
+    def test_histogram_instrument_expands(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(3)
+        assert reg.snapshot()["lat.count"] == 1
+
+    def test_sources_sampled_at_snapshot_time(self):
+        box = {"v": 1}
+        reg = MetricsRegistry()
+        reg.register_source("box", lambda: box["v"])
+        assert reg.snapshot()["box"] == 1
+        box["v"] = 9
+        assert reg.snapshot()["box"] == 9
+
+    def test_names_lists_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.register_source("s", lambda: 0)
+        assert reg.names() == ("c", "s")

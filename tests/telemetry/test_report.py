@@ -1,0 +1,84 @@
+"""Unit tests for SimReport and the report CLI."""
+
+import json
+import subprocess
+import sys
+
+from repro.telemetry.report import SimReport
+
+
+def test_roundtrip(tmp_path):
+    report = SimReport({"a.x": 1, "a.y": 2.5}, meta={"kind": "test"})
+    path = tmp_path / "run.json"
+    report.save(str(path))
+    loaded = SimReport.load(str(path))
+    assert loaded.metrics == report.metrics
+    assert loaded.meta == report.meta
+
+
+def test_total_sums_suffix():
+    report = SimReport({"node.0.proc.instructions": 3,
+                        "node.1.proc.instructions": 4,
+                        "node.0.proc.suspends": 9})
+    assert report.total("instructions") == 7
+
+
+def test_top_ranks_and_strips_names():
+    report = SimReport({"handler.a.cycles": 10, "handler.b.cycles": 30,
+                        "handler.c.cycles": 20, "handler.a.invocations": 99})
+    top = report.top("handler.", ".cycles", 2)
+    assert top == [("b", 30), ("c", 20)]
+
+
+def test_diff_reports_changes_and_one_sided_metrics():
+    a = SimReport({"x": 1, "y": 2, "gone": 5})
+    b = SimReport({"x": 1, "y": 3, "new": 7})
+    diff = a.diff(b)
+    assert diff == {"y": (2, 3), "gone": (5, None), "new": (None, 7)}
+    assert "y" in a.format_diff(b)
+    assert a.format_diff(a) == "(no metric differences)"
+
+
+def test_format_lists_meta_and_metrics():
+    report = SimReport({"m": 1}, meta={"nodes": 4})
+    text = report.format()
+    assert "# nodes: 4" in text
+    assert "m" in text
+    limited = SimReport({f"k{i}": i for i in range(10)}).format(limit=3)
+    assert "7 more metrics" in limited
+
+
+def _cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.telemetry", *args],
+        capture_output=True, text=True,
+    )
+
+
+def test_cli_report_prints(tmp_path):
+    path = tmp_path / "run.json"
+    SimReport({"node.0.proc.instructions": 12},
+              meta={"kind": "machine"}).save(str(path))
+    result = _cli("report", str(path))
+    assert result.returncode == 0, result.stderr
+    assert "node.0.proc.instructions" in result.stdout
+    assert "# kind: machine" in result.stdout
+
+
+def test_cli_report_diffs_two_runs(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    SimReport({"x": 1}).save(str(a))
+    SimReport({"x": 5}).save(str(b))
+    result = _cli("report", str(a), str(b))
+    assert result.returncode == 0, result.stderr
+    assert "x" in result.stdout and "diff" in result.stdout
+
+
+def test_cli_top(tmp_path):
+    path = tmp_path / "run.json"
+    SimReport({"handler.fast.cycles": 90, "handler.slow.cycles": 10}
+              ).save(str(path))
+    result = _cli("report", str(path), "--top", "1")
+    assert result.returncode == 0, result.stderr
+    assert "fast" in result.stdout
+    assert "slow" not in result.stdout

@@ -5,6 +5,8 @@ scale; what's checked is that they execute end to end and their key
 claims appear in the output.
 """
 
+import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -67,6 +69,25 @@ def test_cst_objects():
     out = run_example("cst_objects.py")
     assert "(verified)" in out
     assert "xlates" in out
+
+
+def test_timeline_trace(tmp_path):
+    # Runs in tmp_path (the script writes its trace to the cwd), so the
+    # inherited PYTHONPATH=src must be made absolute.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(EXAMPLES.parent / "src")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "timeline_trace.py"), "32", "64"],
+        capture_output=True, text=True, timeout=240, cwd=str(tmp_path),
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "hottest handlers" in result.stdout
+    assert "NxtChar" in result.stdout
+    trace_file = tmp_path / "lcs_trace.json"
+    assert trace_file.exists()
+    trace = json.loads(trace_file.read_text())
+    assert trace["traceEvents"]
 
 
 def test_assembly_showcase():

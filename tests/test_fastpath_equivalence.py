@@ -83,6 +83,61 @@ def test_cycle_radix_identical():
     assert fast.sorted_keys == sorted(keys)
 
 
+# ----------------------------------------------------------- telemetry
+
+
+def _telemetry_run(experiment, fast):
+    """Run ``experiment(machine)`` with telemetry; return (metrics, events)."""
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    machine = JMachine(MachineConfig(dims=(2, 2, 2), fast_path=fast),
+                       telemetry=telemetry)
+    experiment(machine)
+    return (telemetry.registry.snapshot(),
+            list(telemetry.events.iter_dicts()))
+
+
+def test_telemetry_identical_ping():
+    """The ISSUE's equivalence clause: batched fast-path blocks report
+    the same counter totals — and the same event stream — as the
+    reference interpreter."""
+    fast, slow = _both(
+        lambda f: _telemetry_run(
+            lambda m: run_ping(m, 0, 7, iterations=6), f))
+    assert fast[0] == slow[0]
+    assert fast[1] == slow[1]
+
+
+def test_telemetry_identical_barrier():
+    fast, slow = _both(
+        lambda f: _telemetry_run(
+            lambda m: run_barrier_experiment(m, barriers=3), f))
+    assert fast[0] == slow[0]
+    assert fast[1] == slow[1]
+
+
+def test_telemetry_identical_reduction():
+    fast, slow = _both(
+        lambda f: _telemetry_run(
+            lambda m: run_reduction(m, values=list(range(1, 9))), f))
+    assert fast[0] == slow[0]
+    assert fast[1] == slow[1]
+
+
+def test_report_identical_ping():
+    from repro.telemetry import Telemetry
+
+    def run(fast):
+        machine = JMachine(MachineConfig(dims=(2, 2, 2), fast_path=fast),
+                           telemetry=Telemetry(events=False))
+        run_ping(machine, 0, 7, iterations=6)
+        return machine.report().to_dict()
+
+    fast, slow = _both(run)
+    assert fast == slow
+
+
 # ------------------------------------------------- random straight-line
 
 
