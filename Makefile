@@ -1,7 +1,7 @@
 # Convenience targets for the J-Machine reproduction.
 
-.PHONY: install test bench perfsmoke telemetry-gate check paper report \
-	examples clean
+.PHONY: install test bench perfsmoke telemetry-gate chaos-smoke check \
+	paper report examples clean
 
 install:
 	pip install -e .
@@ -25,8 +25,14 @@ telemetry-gate: perfsmoke
 	PYTHONPATH=src python benchmarks/check_telemetry_overhead.py \
 		BENCH_simspeed.json
 
-# The full gate: correctness suite, throughput smoke, telemetry overhead.
-check: test telemetry-gate
+# Fault-injection smoke: fixed-seed sweep asserting that benchmarks
+# complete under message loss via the retry path and that the same seed
+# reproduces the identical telemetry event stream (docs/ROBUSTNESS.md).
+chaos-smoke:
+	PYTHONPATH=src python benchmarks/chaos_sweep.py --smoke
+
+# The full gate: correctness, throughput, telemetry overhead, chaos.
+check: test telemetry-gate chaos-smoke
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:

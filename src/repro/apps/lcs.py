@@ -158,12 +158,20 @@ def scaling_analysis(n_nodes: int, params: LcsParams = LcsParams(),
 
 def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
                  config: Optional[MacroConfig] = None,
-                 telemetry=None) -> AppResult:
-    """Run the systolic LCS on a macro-simulated machine and verify it."""
+                 telemetry=None, chaos=None, reliable=None) -> AppResult:
+    """Run the systolic LCS on a macro-simulated machine and verify it.
+
+    ``chaos`` attaches a :class:`~repro.chaos.ChaosEngine` (fault
+    injection); ``reliable`` — True or a dict of
+    :class:`~repro.runtime.rpc.ReliableLayer` kwargs — adds the
+    retransmitting transport that lets the run survive message loss.
+    """
     if n_nodes < 1:
         raise ConfigurationError("need at least one node")
     a, b = generate_strings(params)
     sim = MacroSimulator(n_nodes, config=config, telemetry=telemetry)
+    if chaos is not None:
+        chaos.attach_macro(sim)
     chunks = _chunks(a, n_nodes)
     holders = [node for node in range(n_nodes) if chunks[node]]
     last_holder = holders[-1]
@@ -214,6 +222,12 @@ def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
 
     sim.register("NxtChar", nxt_char)
     sim.register("StartUp", start_up)
+    layer = None
+    if reliable:
+        from ..runtime.rpc import ReliableLayer
+
+        kwargs = reliable if isinstance(reliable, dict) else {}
+        layer = ReliableLayer(sim, **kwargs)
     sim.inject(0, "StartUp", 0)
     cycles = sim.run()
 
@@ -223,6 +237,9 @@ def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
         raise ConfigurationError(
             f"LCS mismatch: systolic={result}, reference={expected}"
         )
+    extra = {"a_len": params.a_len, "b_len": params.b_len}
+    if layer is not None:
+        extra["reliable"] = layer.stats()
     return AppResult(
         name="lcs",
         n_nodes=n_nodes,
@@ -231,5 +248,5 @@ def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
         handler_stats=dict(sim.handler_stats),
         breakdown=sim.breakdown(),
         sim=sim,
-        extra={"a_len": params.a_len, "b_len": params.b_len},
+        extra=extra,
     )

@@ -109,13 +109,23 @@ def run_sequential(params: NQueensParams = NQueensParams()) -> SequentialResult:
 def run_parallel(
     n_nodes: int, params: NQueensParams = NQueensParams(),
     config: Optional[MacroConfig] = None,
+    telemetry=None, chaos=None, reliable=None,
 ) -> AppResult:
-    """Breadth-first expansion, static spread, depth-first tasks."""
+    """Breadth-first expansion, static spread, depth-first tasks.
+
+    ``chaos`` attaches a :class:`~repro.chaos.ChaosEngine`;
+    ``reliable`` — True or a dict of
+    :class:`~repro.runtime.rpc.ReliableLayer` kwargs — adds the
+    retransmitting transport (the result collection's ``outstanding``
+    countdown needs its exactly-once dispatch to survive message loss).
+    """
     if n_nodes < 1:
         raise ConfigurationError("need at least one node")
     n = params.n
     depth = choose_depth(n, n_nodes, params.tasks_per_node)
-    sim = MacroSimulator(n_nodes, config=config)
+    sim = MacroSimulator(n_nodes, config=config, telemetry=telemetry)
+    if chaos is not None:
+        chaos.attach_macro(sim)
 
     master_state = sim.nodes[0].state
     master_state["solutions"] = 0
@@ -164,6 +174,12 @@ def run_parallel(
     sim.register("NQStart", start)
     sim.register("NQueens", nqueens)
     sim.register("NQDone", nq_done)
+    layer = None
+    if reliable:
+        from ..runtime.rpc import ReliableLayer
+
+        kwargs = reliable if isinstance(reliable, dict) else {}
+        layer = ReliableLayer(sim, **kwargs)
     sim.inject(0, "NQStart")
     cycles = sim.run()
 
@@ -175,6 +191,9 @@ def run_parallel(
         )
     if not master_state["done"]:
         raise ConfigurationError("N-Queens did not collect all results")
+    extra = {"n": n, "bf_depth": depth}
+    if layer is not None:
+        extra["reliable"] = layer.stats()
     return AppResult(
         name="nqueens",
         n_nodes=n_nodes,
@@ -183,5 +202,5 @@ def run_parallel(
         handler_stats=dict(sim.handler_stats),
         breakdown=sim.breakdown(),
         sim=sim,
-        extra={"n": n, "bf_depth": depth},
+        extra=extra,
     )

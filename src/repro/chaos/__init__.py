@@ -1,0 +1,32 @@
+"""repro.chaos — deterministic fault injection and deadlock detection.
+
+The subsystem has three parts (see docs/ROBUSTNESS.md):
+
+* :mod:`~repro.chaos.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  the declarative, JSON-serializable description of what to break;
+* :mod:`~repro.chaos.engine` — :class:`ChaosEngine`, which attaches a
+  plan to either simulation level and injects the faults;
+* :mod:`~repro.chaos.watchdog` — :class:`DeadlockWatchdog` and the
+  per-node :class:`NodeSnapshot` diagnostics raised inside
+  :class:`~repro.core.errors.DeadlockError`.
+
+``python -m repro.chaos replay plan.json`` re-runs a saved plan against
+a reference workload and prints (optionally diffs) the injected-fault
+log — the determinism contract in executable form.
+"""
+
+from .engine import ChaosEngine
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .watchdog import (DeadlockWatchdog, NodeSnapshot, machine_snapshots,
+                       snapshot_node)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "ChaosEngine",
+    "DeadlockWatchdog",
+    "NodeSnapshot",
+    "snapshot_node",
+    "machine_snapshots",
+]

@@ -109,6 +109,32 @@ class AssociativeMatchTable:
         entry_set.append((key, value))
         return value
 
+    # -- fault injection ------------------------------------------------------
+
+    def poison(self, rng, fraction: float = 1.0) -> int:
+        """Evict a deterministic random ``fraction`` of hardware entries.
+
+        Models a transient corruption of the on-chip table (see
+        :mod:`repro.chaos`): the *backing map is untouched*, so every
+        poisoned name is still bound — the next ``xlate`` simply takes
+        the miss fault and the software reload path, exactly the recovery
+        the real system performs after losing AMT state.  Returns the
+        number of entries evicted; counted in :attr:`evictions`.
+        """
+        victims = 0
+        for entry_set in self._table:
+            if not entry_set:
+                continue
+            keep = []
+            for pair in entry_set:
+                if rng.random() < fraction:
+                    victims += 1
+                else:
+                    keep.append(pair)
+            entry_set[:] = keep
+        self.evictions += victims
+        return victims
+
     # -- management ---------------------------------------------------------------
 
     def purge(self, key: Word) -> None:

@@ -21,6 +21,9 @@ __all__ = [
     "ConfigurationError",
     "AssemblyError",
     "MemoryError_",
+    "QueueUnderflowError",
+    "DeadlockError",
+    "DeliveryError",
     "MdpFault",
     "CfutFault",
     "FutUseFault",
@@ -54,6 +57,63 @@ class AssemblyError(SimulationError):
 
 class MemoryError_(SimulationError):
     """Host-level misuse of a simulated memory (not an architectural fault)."""
+
+
+class QueueUnderflowError(SimulationError):
+    """Dequeue from an empty hardware message queue (host-side misuse).
+
+    The real MDP cannot underflow — dispatch only fires when a message
+    reaches the queue head — so an empty-queue dequeue is always a bug in
+    the simulation host, not an architectural fault, and must not be
+    conflated with :class:`QueueOverflowFault`.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The machine (or the network) stopped making progress.
+
+    Raised by the fabric's stagnation watchdog, by
+    :class:`~repro.chaos.watchdog.DeadlockWatchdog`, and by
+    ``JMachine.run_until_quiescent`` when a run wedges.  Carries a
+    diagnostic payload so a hung run fails with *evidence* instead of a
+    generic error:
+
+    Attributes:
+        now: the simulated cycle the stall was detected at.
+        snapshots: per-node diagnostic snapshots (see
+            :func:`repro.chaos.watchdog.snapshot_node`), possibly empty.
+        worms_in_flight: messages stuck in the network at detection time.
+    """
+
+    def __init__(self, detail: str = "", now: int = 0, snapshots=(),
+                 worms_in_flight: int = 0) -> None:
+        self.now = now
+        self.snapshots = list(snapshots)
+        self.worms_in_flight = worms_in_flight
+        lines = [detail]
+        for snap in self.snapshots[:16]:
+            lines.append(f"  {snap}")
+        if len(self.snapshots) > 16:
+            lines.append(f"  ... and {len(self.snapshots) - 16} more nodes")
+        super().__init__("\n".join(lines))
+
+
+class DeliveryError(SimulationError):
+    """A reliable-transport message exhausted its retry budget.
+
+    Raised by :class:`repro.runtime.rpc.ReliableLayer` when a message is
+    retransmitted ``max_retries`` times without an acknowledgment —
+    either the injected loss rate is higher than the retry budget can
+    absorb or the destination node is dead.
+    """
+
+    def __init__(self, detail: str = "", source: int = -1, dest: int = -1,
+                 seq: int = -1, attempts: int = 0) -> None:
+        self.source = source
+        self.dest = dest
+        self.seq = seq
+        self.attempts = attempts
+        super().__init__(detail)
 
 
 class MdpFault(Exception):

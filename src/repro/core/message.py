@@ -35,6 +35,7 @@ class Message:
         "dispatch_time",
         "bounce_of",
         "injection_reported",
+        "corrupted",
     )
 
     def __init__(
@@ -65,6 +66,10 @@ class Message:
         #: (must be once-only even when the message retries after a
         #: bounce, or send-buffer accounting would double-free).
         self.injection_reported = False
+        #: Fault injection flipped a flit in transit (see
+        #: :mod:`repro.chaos`); the receiving node's software checksum
+        #: will reject the message instead of dispatching it.
+        self.corrupted = False
 
     @property
     def handler_ip(self) -> int:

@@ -353,6 +353,24 @@ class Mdp:
             self._events.emit("deliver", now, self.node_id,
                               int(message.priority), src=message.source)
 
+    def checksum_reject(self, message: Message, now: int) -> int:
+        """Discard a corrupted arrival: the software integrity check failed.
+
+        Fault injection (:mod:`repro.chaos`) can flip flits in transit;
+        the machine routes such messages here instead of enqueueing them.
+        The fault handler vectors, scans the message (charged per word),
+        and drops it — recovery, if any, is end-to-end (the sender's
+        reliable transport notices the missing acknowledgment and
+        retransmits).  Returns the cycles charged.
+        """
+        cost = self.costs.fault_vector + 2 * message.length
+        self._charge("fault", cost)
+        if self._events is not None:
+            self._events.emit("chaos", now, self.node_id,
+                              int(message.priority), name="checksum-reject",
+                              src=message.source)
+        return cost
+
     def _refill_from_spill(self) -> int:
         """Move spilled messages back into the hardware queue.
 

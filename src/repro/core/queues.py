@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
-from .errors import ConfigurationError, QueueOverflowFault
+from .errors import ConfigurationError, QueueOverflowFault, QueueUnderflowError
 from .message import Message
 
 __all__ = ["MessageQueue", "MIN_MESSAGE_WORDS", "DEFAULT_QUEUE_WORDS"]
@@ -45,6 +45,11 @@ class MessageQueue:
         self.capacity_words = capacity_words
         self._messages: Deque[Message] = deque()
         self._used_words = 0
+        #: Words withheld from the free pool by fault injection (see
+        #: :mod:`repro.chaos`): a forced-exhaustion fault shrinks the
+        #: queue's effective capacity without touching real occupancy.
+        #: Always 0 outside chaos runs.
+        self.pressure_words = 0
         # statistics
         self.enqueued = 0
         self.overflows = 0
@@ -66,7 +71,7 @@ class MessageQueue:
     @property
     def free_words(self) -> int:
         """Words of queue space currently available."""
-        return self.capacity_words - self._used_words
+        return self.capacity_words - self._used_words - self.pressure_words
 
     def would_fit(self, message: Message) -> bool:
         """True if ``message`` can be enqueued without overflow."""
@@ -94,9 +99,14 @@ class MessageQueue:
         return self._messages[0] if self._messages else None
 
     def dequeue(self) -> Message:
-        """Remove and return the head message."""
+        """Remove and return the head message.
+
+        Raises :class:`QueueUnderflowError` on an empty queue: that is a
+        simulation-host bug (dispatch only fires when a message is at
+        the head), not the architectural overflow fault.
+        """
         if not self._messages:
-            raise QueueOverflowFault("dequeue from empty queue")
+            raise QueueUnderflowError("dequeue from empty queue")
         message = self._messages.popleft()
         self._used_words -= self.footprint(message)
         return message
@@ -111,3 +121,4 @@ class MessageQueue:
         """Drop all buffered messages (machine reset)."""
         self._messages.clear()
         self._used_words = 0
+        self.pressure_words = 0

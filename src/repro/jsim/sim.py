@@ -251,6 +251,10 @@ class MacroSimulator:
         #: pull-based and never touch the run loop.
         self.telemetry = telemetry
         self._ebus = None
+        #: Fault-injection engine (installed by
+        #: ``ChaosEngine.attach_macro``); None keeps :meth:`post` on its
+        #: cheap ``is None`` branch.
+        self._chaos = None
         if telemetry is not None:
             from ..telemetry.wiring import instrument_macro
 
@@ -296,6 +300,12 @@ class MacroSimulator:
             self._ebus.emit("send", send_time, source, 1 if priority else 0,
                             name=handler, dest=dest, words=length)
         latency = self.network.latency(source, dest, length, send_time)
+        if self._chaos is not None:
+            dropped, extra = self._chaos.macro_verdict(
+                source, dest, handler, length, send_time)
+            if dropped:
+                return  # the network ate it; no arrival is scheduled
+            latency += extra
         # Never schedule into the past (a host inject with a stale `at`
         # must not make simulated time run backwards).
         arrival = max(send_time + latency, self.now)
@@ -321,6 +331,22 @@ class MacroSimulator:
 
     _ARRIVAL = 0
     _COMPLETE = 1
+    _TIMER = 2
+
+    def schedule_call(self, when: int, fn: Callable[[int], None]) -> None:
+        """Run ``fn(now)`` as a host callback at simulated time ``when``.
+
+        Timer callbacks are the hook the reliable transport's retransmit
+        timers hang off.  They do not advance :attr:`end_time` (they are
+        bookkeeping, not application work), and cancellation is lazy —
+        schedule freely and make the callback a no-op when it is stale.
+        """
+        heapq.heappush(
+            self._events,
+            (max(when, self.now), self._seq, self._TIMER, 0, None, (fn,),
+             0, 0),
+        )
+        self._seq += 1
 
     def _start_task(self, node: SimNode, start: int) -> None:
         """Dispatch and run the highest-priority queued task on ``node``.
@@ -367,6 +393,7 @@ class MacroSimulator:
         handler_stats = self.handler_stats
         heappop = heapq.heappop
         complete = self._COMPLETE
+        timer = self._TIMER
         start_task = self._start_task
         ebus = self._ebus
         processed = 0
@@ -377,6 +404,13 @@ class MacroSimulator:
             if max_time is not None and time > max_time:
                 break
             self.now = time
+            if kind == timer:
+                args[0](time)
+                processed += 1
+                if processed >= max_events:
+                    raise SimulationError(
+                        "macro simulation exceeded max_events")
+                continue
             node = nodes[dest]
             queues = node.queues
             if kind == complete:

@@ -20,7 +20,7 @@ import heapq
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..asm.assembler import Program
-from ..core.errors import ConfigurationError, QueueOverflowFault
+from ..core.errors import DeadlockError, QueueOverflowFault
 from ..core.message import Message
 from ..core.registers import Priority
 from ..core.word import Word
@@ -60,6 +60,17 @@ class JMachine:
         self._staged_messages: List[Optional[Message]] = []
         self._staged_words_per_node: List[int] = [0] * self.mesh.n_nodes
         self._seq = 0
+        #: Committed-delivery counter: one increment per message handed
+        #: to a processor.  Part of the deadlock watchdog's progress
+        #: signature (a machine that only re-stages deliveries is stuck).
+        self.deliveries_committed = 0
+        #: Fault injector (:class:`~repro.chaos.engine.ChaosEngine`),
+        #: installed by ``engine.attach_machine(machine)``; None = no
+        #: injection, and every hook below is skipped.
+        self.chaos = None
+        #: Optional :class:`~repro.chaos.watchdog.DeadlockWatchdog`;
+        #: polled once per run-loop iteration when set.
+        self.watchdog = None
         #: Attached telemetry rig (see :mod:`repro.telemetry`), or None.
         self.telemetry = telemetry
         if telemetry is not None:
@@ -138,11 +149,28 @@ class JMachine:
         heapq.heappush(self._proc_heap, (when, node_id))
 
     def _commit_deliveries(self) -> None:
+        chaos = self.chaos
         while self._delivery_heap and self._delivery_heap[0][0] <= self.now:
             _, index, node_id = heapq.heappop(self._delivery_heap)
             message = self._staged_messages[index]
             self._staged_messages[index] = None
             self._staged_words_per_node[node_id] -= message.length
+            self.deliveries_committed += 1
+            if chaos is not None:
+                if chaos.node_killed(node_id, self.now):
+                    # Fail-stopped node: the message is destroyed on
+                    # arrival (the sender sees silence, not an error).
+                    chaos.blackhole(message, self.now)
+                    continue
+                if message.corrupted:
+                    # The receiver's fault policy: checksum fails, the
+                    # message body is discarded, the fault handler's
+                    # cycles are charged, and the payload never runs.
+                    proc = self.nodes[node_id].proc
+                    proc.checksum_reject(message, self.now)
+                    chaos.counters["checksum_rejects"] += 1
+                    self._schedule_proc(node_id, self.now)
+                    continue
             try:
                 self.nodes[node_id].proc.deliver(message, self.now)
             except QueueOverflowFault:
@@ -159,12 +187,20 @@ class JMachine:
         now = self.now
         heap = self._proc_heap
         fabric = self.fabric
+        chaos = self.chaos
         while heap and heap[0][0] <= now:
             when, node_id = heapq.heappop(heap)
             node = self.nodes[node_id]
             if node.next_tick != when:
                 continue  # stale entry
             node.next_tick = None
+            if chaos is not None:
+                if chaos.node_killed(node_id, now):
+                    continue  # fail-stopped: never ticks again
+                stall_end = chaos.node_stall_until(node_id, now)
+                if stall_end > now:
+                    self._schedule_proc(node_id, stall_end)
+                    continue
             proc = node.proc
             if proc.fast_path:
                 # fabric.active re-read per pop: an earlier block in this
@@ -243,12 +279,20 @@ class JMachine:
                     return True
                 return False
 
+        chaos = self.chaos
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.reset(self.now)
         try:
             while self.now < limit:
+                if chaos is not None:
+                    chaos.machine_tick(self, self.now)
                 self._commit_deliveries()
                 if self.fabric.active:
                     self.fabric.step(self.now)
                 self._tick_procs(limit, probe)
+                if watchdog is not None:
+                    watchdog.poll(self, self.now)
                 if until is not None:
                     fired_at = fired[0]
                     if fired_at is not None and fired_at > self.now:
@@ -284,13 +328,22 @@ class JMachine:
             telemetry.events.emit("run-end", self.now, -1)
 
     def run_until_quiescent(self, max_cycles: int = 10_000_000) -> int:
-        """Run to quiescence; raises if the limit is hit first."""
+        """Run to quiescence; raises :class:`DeadlockError` if the limit
+        is hit with work still outstanding, carrying a per-node
+        diagnostic snapshot of everything implicated."""
         end = self.run(max_cycles=max_cycles)
         if self.fabric.active or self._proc_heap or self._delivery_heap:
-            if any(n.proc.has_work() for n in self.nodes):
-                raise ConfigurationError(
-                    f"machine still busy after {max_cycles} cycles"
-                )
+            from ..chaos.watchdog import machine_snapshots
+
+            snapshots = machine_snapshots(self)
+            raise DeadlockError(
+                f"machine still busy after {max_cycles} cycles "
+                f"(t={end}); {self.fabric.worms_in_flight} worms in "
+                f"flight, {len(snapshots)} nodes implicated:",
+                now=end,
+                snapshots=snapshots,
+                worms_in_flight=self.fabric.worms_in_flight,
+            )
         return end
 
     # ------------------------------------------------------------------ stats

@@ -39,7 +39,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.costs import CostModel, DEFAULT_COSTS
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, DeadlockError
 from ..core.message import Message
 from ..core.registers import Priority
 from .routing import ChannelKey, INJECT, route
@@ -171,6 +171,10 @@ class Fabric:
         self._stagnant_cycles = 0
         #: Telemetry event bus (installed by repro.telemetry.wiring).
         self._events = None
+        #: Fault-injection engine (installed by
+        #: :meth:`repro.chaos.ChaosEngine.attach_machine`); None keeps
+        #: every injection site on its cheap ``is None`` branch.
+        self.chaos = None
 
     # ------------------------------------------------------------------ send
 
@@ -295,16 +299,21 @@ class Fabric:
         last = len(worm.path) - 1
         moved = False
 
-        # 1. Head acquisition: one hop per cycle when the next VC is free.
+        # 1. Head acquisition: one hop per cycle when the next VC is free
+        #    *and* the link is up (chaos link outages hold the head in
+        #    place exactly like contention, so backpressure — and, if the
+        #    outage persists, deadlock — propagates realistically).
         if worm.head < last:
             key = worm.keys[worm.head + 1]
-            if self._owner.get(key) is None:
+            if self._owner.get(key) is not None or (
+                    self.chaos is not None
+                    and self.chaos.link_blocked(key, now)):
+                worm.block_cycles += 1
+                self.stats.block_cycles += 1
+            else:
                 self._owner[key] = worm
                 worm.head += 1
                 moved = True
-            else:
-                worm.block_cycles += 1
-                self.stats.block_cycles += 1
 
         # 2. Delivery: once the ejection port is held, stream phits out.
         if worm.head == last:
@@ -370,6 +379,13 @@ class Fabric:
             retry_worm = self._make_worm(original, now)
             self._staged.append((arrival + self.inject_latency, retry_worm))
             return
+        if self.chaos is not None:
+            verdict = self.chaos.fabric_verdict(worm.message, now)
+            if verdict == 1:  # dropped: the message vanishes in transit
+                self.stats.drops += 1
+                return
+            if verdict == 2:  # corrupted: delivered, but checksum-dead
+                worm.message.corrupted = True
         worm.message.arrive_time = arrival
         if self.track_channel_load:
             # Every phit crossed every channel of the path exactly once.
@@ -412,10 +428,15 @@ class Fabric:
                 f"{worm.message!r} head={worm.head}/{len(worm.path) - 1} "
                 f"blocked_by={blocker!r}"
             )
-        raise ConfigurationError(
+        if self._events is not None:
+            self._events.emit("watchdog", now, -1, name="net-stagnation",
+                              worms=len(self._active))
+        raise DeadlockError(
             f"network made no progress for {self.watchdog_cycles} cycles "
             f"at t={now}; {len(self._active)} worms stuck:\n  "
-            + "\n  ".join(details)
+            + "\n  ".join(details),
+            now=now,
+            worms_in_flight=len(self._active),
         )
 
     # ---------------------------------------------------------------- helpers

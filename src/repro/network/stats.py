@@ -131,6 +131,8 @@ class NetworkStats:
         self.block_cycles = 0
         self.delivery_stall_cycles = 0
         self.bounces = 0
+        #: Messages destroyed in transit by fault injection (repro.chaos).
+        self.drops = 0
         self.latency = LatencySummary()
         # measurement window
         self._window_start_cycle = 0

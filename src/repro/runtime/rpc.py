@@ -21,15 +21,16 @@ the Imem/Emem variants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..asm.assembler import Program, assemble
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, DeliveryError, SimulationError
 from ..core.registers import Priority
 from ..core.word import Word
 from ..machine.jmachine import JMachine
 
-__all__ = ["PingResult", "run_ping", "run_remote_read", "RPC_SOURCE"]
+__all__ = ["PingResult", "run_ping", "run_remote_read", "RPC_SOURCE",
+           "ReliableLayer"]
 
 #: Globals segment layout (offsets into the A0 segment).
 _G_COUNT = 0      # iterations remaining
@@ -133,6 +134,205 @@ read6_req:
     SENDE [A1+R0]
     SUSPEND
 """
+
+
+class ReliableLayer:
+    """End-to-end reliable messaging over a lossy macro-level network.
+
+    The J-Machine's network never loses messages, so its runtime has no
+    retransmission layer; once the chaos engine can drop messages, the
+    macro benchmarks need one.  This is the classic end-to-end recipe in
+    simulated cycles:
+
+    * every application message is wrapped in a ``__rel.recv`` envelope
+      carrying a global **sequence number** (for acking), a per
+      source→destination **stream sequence number** (for ordering), and
+      the real handler name;
+    * the receiver **acks** every envelope, dispatches each stream
+      strictly in order — stashing early arrivals until the gap fills —
+      and drops duplicates, so retransmission yields **exactly-once,
+      in-order** dispatch (handlers need no idempotence of their own:
+      the layer replays the envelope, not the handler, and hardware-like
+      FIFO ordering per channel is preserved);
+    * the sender keeps unacked envelopes in flight, retransmitting on a
+      timer with **exponential backoff** (``timeout * backoff**attempt``
+      cycles) until acked or ``max_retries`` is exhausted, at which point
+      it raises :class:`~repro.core.errors.DeliveryError`.
+
+    One modelling simplification: streams are keyed by source node only,
+    so priority-1 traffic from a node is serialized with its priority-0
+    traffic at the receiver.
+
+    Envelopes and acks travel over the same lossy network as the traffic
+    they protect — a lost ack simply causes one duplicate delivery, which
+    the seen-set suppresses.  Install with ``ReliableLayer(sim)`` *after*
+    registering application handlers and *before* running; the layer
+    shadows ``sim.post`` with an instance attribute, so every
+    ``ctx.send`` is covered without touching application code.
+
+    Cost model: the envelope adds :data:`ENVELOPE_WORDS` words per
+    message (sequence number + reply-to), and the receiver charges a few
+    instructions for the sequence check — the measured overhead the
+    chaos sweep reports.
+
+    Retries surface in telemetry as ``retry`` events and, when a chaos
+    engine is attached, in the ``chaos.retries`` / ``chaos.give_ups``
+    counters.
+    """
+
+    RECV = "__rel.recv"
+    ACK = "__rel.ack"
+    #: Extra message words the envelope costs (seq + stream-seq + reply-to).
+    ENVELOPE_WORDS = 3
+    #: Instructions the receiver charges to check/record a sequence number.
+    SEQ_CHECK_INSTRUCTIONS = 4
+
+    def __init__(self, sim, timeout: int = 10_000, max_retries: int = 10,
+                 backoff: float = 2.0) -> None:
+        if timeout <= 0:
+            raise ConfigurationError("reliable-layer timeout must be > 0")
+        if backoff < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        self.sim = sim
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        #: seq -> (source, dest, handler, args, length, priority, attempts)
+        self._pending: Dict[int, Tuple] = {}
+        self._next_seq = 0
+        #: (source, dest) -> next stream sequence number to assign.
+        self._stream_next: Dict[Tuple[int, int], int] = {}
+        #: Receiver state, per node: source -> next stream seq expected,
+        #: and source -> {stream seq -> (handler, args)} early arrivals.
+        self._expected = [dict() for _ in range(sim.n_nodes)]
+        self._stash = [dict() for _ in range(sim.n_nodes)]
+        self.retries = 0
+        self.give_ups = 0
+        self.duplicates = 0
+        self.reordered = 0
+        self.acked = 0
+        sim.register(self.RECV, self._on_recv)
+        sim.register(self.ACK, self._on_ack)
+        # Shadow the bound method with an instance attribute: every
+        # ctx.send / sim.inject now routes through the envelope path.
+        self._raw_post = sim.post
+        sim.post = self._wrapped_post
+
+    # -- the sending side ---------------------------------------------------
+
+    def _wrapped_post(self, source, dest, handler, args, length, priority,
+                      send_time):
+        if handler.startswith("__rel."):
+            # Control traffic (envelopes being retransmitted, acks) goes
+            # out raw; it is protected by retry + dedup, not recursion.
+            self._raw_post(source, dest, handler, args, length, priority,
+                           send_time)
+            return
+        if handler not in self.sim.handlers:
+            raise SimulationError(f"no handler named {handler!r}")
+        seq = self._next_seq
+        self._next_seq += 1
+        stream = (source, dest)
+        sseq = self._stream_next.get(stream, 0)
+        self._stream_next[stream] = sseq + 1
+        wrapped_args = (seq, sseq, source, handler, args)
+        wrapped_length = length + self.ENVELOPE_WORDS
+        self._pending[seq] = (source, dest, handler, args, wrapped_length,
+                              priority, 0, sseq)
+        self._raw_post(source, dest, self.RECV, wrapped_args, wrapped_length,
+                       priority, send_time)
+        self._arm_timer(seq, send_time, 0)
+
+    def _arm_timer(self, seq: int, sent_at: int, attempt: int) -> None:
+        delay = int(self.timeout * (self.backoff ** attempt))
+        self.sim.schedule_call(sent_at + delay,
+                               lambda now, seq=seq: self._on_timeout(seq, now))
+
+    def _on_timeout(self, seq: int, now: int) -> None:
+        entry = self._pending.get(seq)
+        if entry is None:
+            return  # acked in the meantime: the timer was stale
+        (source, dest, handler, args, wrapped_length, priority, attempts,
+         sseq) = entry
+        attempts += 1
+        chaos = getattr(self.sim, "_chaos", None)
+        if attempts > self.max_retries:
+            self.give_ups += 1
+            if chaos is not None:
+                chaos.counters["give_ups"] += 1
+            del self._pending[seq]
+            raise DeliveryError(
+                f"message seq={seq} ({handler!r} {source}->{dest}) "
+                f"undelivered after {attempts - 1} retransmissions",
+                source=source, dest=dest, seq=seq, attempts=attempts,
+            )
+        self.retries += 1
+        if chaos is not None:
+            chaos.counters["retries"] += 1
+        ebus = getattr(self.sim, "_ebus", None)
+        if ebus is not None:
+            ebus.emit("retry", now, source, 1 if priority else 0,
+                      name=handler, dest=dest, seq=seq, attempt=attempts)
+        self._pending[seq] = (source, dest, handler, args, wrapped_length,
+                              priority, attempts, sseq)
+        self._raw_post(source, dest, self.RECV,
+                       (seq, sseq, source, handler, args),
+                       wrapped_length, priority, now)
+        self._arm_timer(seq, now, attempts)
+
+    # -- the receiving side -------------------------------------------------
+
+    def _on_recv(self, ctx, seq, sseq, reply_to, handler, args):
+        ctx.charge(self.SEQ_CHECK_INSTRUCTIONS, category="comm")
+        # Ack unconditionally: a duplicate means our previous ack (or the
+        # whole first delivery) was lost.
+        ctx.send(reply_to, self.ACK, seq, length=2)
+        node = ctx.node_id
+        expected = self._expected[node].get(reply_to, 0)
+        if sseq < expected:
+            self.duplicates += 1
+            return
+        stash = self._stash[node].setdefault(reply_to, {})
+        if sseq > expected:
+            # An earlier message from this stream is missing (dropped and
+            # not yet retransmitted): hold this one until the gap fills.
+            if sseq not in stash:
+                stash[sseq] = (handler, args)
+                self.reordered += 1
+            else:
+                self.duplicates += 1
+            return
+        # In order: dispatch, then drain any stashed successors.  The
+        # real handlers run inline, in this task's context, so their
+        # charges land on this node at this simulated time.
+        self.sim.handlers[handler](ctx, *args)
+        expected += 1
+        while expected in stash:
+            stashed_handler, stashed_args = stash.pop(expected)
+            self.sim.handlers[stashed_handler](ctx, *stashed_args)
+            expected += 1
+        self._expected[node][reply_to] = expected
+
+    def _on_ack(self, ctx, seq):
+        ctx.charge(2, category="comm")
+        if self._pending.pop(seq, None) is not None:
+            self.acked += 1
+
+    # -- observation --------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "give_ups": self.give_ups,
+            "duplicates": self.duplicates,
+            "reordered": self.reordered,
+            "acked": self.acked,
+            "in_flight": self.in_flight,
+        }
 
 
 @dataclass

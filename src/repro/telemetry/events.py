@@ -43,6 +43,9 @@ EVENT_KINDS = frozenset({
     "xlate-fault",     # an AMT miss took the software reload path
     "task",            # a macro-level handler execution (with duration)
     "run-end",         # a run() call returned (or raised)
+    "chaos",           # a fault was injected (name = fault subtype)
+    "retry",           # the reliable transport retransmitted a message
+    "watchdog",        # a deadlock/stagnation watchdog tripped
 })
 
 #: Chrome trace phase per kind; anything unlisted is an instant marker.

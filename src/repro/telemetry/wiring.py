@@ -121,6 +121,7 @@ def _fabric_source(fabric):
             "block_cycles": stats.block_cycles,
             "delivery_stalls": stats.delivery_stall_cycles,
             "bounces": stats.bounces,
+            "drops": stats.drops,
             "in_flight": fabric.worms_in_flight,
         }
 

@@ -1,0 +1,198 @@
+"""Cycle-level fault injection: fabric, scheduler, queues, and AMTs."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.chaos import ChaosEngine, FaultPlan, FaultSpec
+from repro.core.registers import Priority
+from repro.core.word import Word
+from repro.machine.jmachine import JMachine
+from repro.telemetry import Telemetry
+
+ECHO = """
+; request: [IP:echo, replyto, value]
+echo:
+    SEND  [A3+1]
+    SEND  #IP:landing
+    SENDE [A3+2]
+    SUSPEND
+landing:
+    MOVE  [A3+1], [A0+0]
+    SUSPEND
+"""
+
+
+def _machine(n=8, telemetry=None):
+    machine = JMachine.build(n, telemetry=telemetry)
+    program = assemble(ECHO)
+    machine.load(program)
+    base = program.end + 4
+    for node in machine.nodes:
+        node.proc.registers[Priority.P0].write("A0", Word.segment(base, 4))
+    return machine, program, base
+
+
+def _echo(machine, program, value=1234, dest=7):
+    machine.inject(dest, program.entry("echo"),
+                   [Word.from_int(0), Word.from_int(value)], source=0)
+
+
+def _attach(machine, *specs, seed=1):
+    return ChaosEngine(FaultPlan(seed=seed, specs=tuple(specs))) \
+        .attach_machine(machine)
+
+
+class TestFabricFaults:
+    def test_certain_drop_destroys_the_message(self):
+        machine, program, base = _machine()
+        engine = _attach(machine, FaultSpec(kind="drop", rate=1.0))
+        _echo(machine, program)
+        machine.run(max_cycles=10_000)
+        assert machine.node(0).proc.memory.peek(base).value == 0
+        assert engine.counters["drops"] == 1
+        assert machine.fabric.stats.drops == 1
+
+    def test_corruption_hits_the_receivers_fault_policy(self):
+        machine, program, base = _machine()
+        engine = _attach(machine, FaultSpec(kind="corrupt", rate=1.0))
+        _echo(machine, program)
+        machine.run(max_cycles=10_000)
+        # The corrupted request never runs its handler...
+        assert machine.node(0).proc.memory.peek(base).value == 0
+        assert engine.counters["corruptions"] == 1
+        # ...but the receiver paid for rejecting it.
+        assert engine.counters["checksum_rejects"] == 1
+        assert machine.node(7).proc.counters.fault_cycles >= 1
+
+    def test_drops_are_counted_separately_from_completions(self):
+        machine, program, base = _machine()
+        _attach(machine, FaultSpec(kind="drop", rate=1.0))
+        _echo(machine, program)
+        machine.run(max_cycles=10_000)
+        # A dropped worm still traversed the network but must not count
+        # as a delivered completion.
+        assert machine.fabric.stats.drops == 1
+
+    def test_node_scoped_drop_spares_other_destinations(self):
+        machine, program, base = _machine()
+        engine = _attach(machine,
+                         FaultSpec(kind="drop", rate=1.0, node=5))
+        _echo(machine, program, value=77, dest=7)  # unaffected path
+        machine.run(max_cycles=10_000)
+        assert machine.node(0).proc.memory.peek(base).value == 77
+        assert engine.counters["drops"] == 0
+
+    def test_window_bounds_injection(self):
+        machine, program, base = _machine()
+        engine = _attach(machine,
+                         FaultSpec(kind="drop", rate=1.0,
+                                   start=100_000, stop=200_000))
+        _echo(machine, program, value=5)
+        machine.run(max_cycles=10_000)
+        assert machine.node(0).proc.memory.peek(base).value == 5
+        assert engine.counters["drops"] == 0
+
+
+class TestSchedulerFaults:
+    def test_stall_delays_completion(self):
+        clean, program, base = _machine()
+        _echo(clean, program)
+        clean_end = clean.run(max_cycles=100_000)
+
+        stalled, program, base = _machine()
+        engine = _attach(stalled,
+                         FaultSpec(kind="stall", node=7, duration=5_000))
+        _echo(stalled, program)
+        stalled_end = stalled.run(max_cycles=100_000)
+        assert stalled.node(0).proc.memory.peek(base).value == 1234
+        assert stalled_end >= clean_end + 4_000
+        assert engine.counters["stalls"] == 1
+
+    def test_killed_node_executes_nothing(self):
+        machine, program, base = _machine()
+        engine = _attach(machine, FaultSpec(kind="kill", node=7))
+        _echo(machine, program)
+        machine.run(max_cycles=10_000)
+        assert machine.node(7).proc.counters.instructions == 0
+        assert machine.node(0).proc.memory.peek(base).value == 0
+        assert engine.counters["kills"] == 1
+        # The delivery to the dead node was blackholed, not queued.
+        assert engine.counters["blackholes"] == 1
+
+    def test_kill_records_once(self):
+        machine, program, base = _machine()
+        engine = _attach(machine, FaultSpec(kind="kill", node=7))
+        for value in (1, 2, 3):
+            _echo(machine, program, value=value)
+        machine.run(max_cycles=20_000)
+        assert engine.counters["kills"] == 1
+        assert engine.counters["blackholes"] == 3
+
+
+class TestScheduledFaults:
+    def test_queue_pressure_shrinks_free_space(self):
+        machine, program, base = _machine()
+        engine = _attach(machine,
+                         FaultSpec(kind="queue", node=3, words=8, start=0))
+        machine.run(max_cycles=10)  # let the schedule fire
+        queue = machine.node(3).proc.queues[Priority.P0]
+        assert queue.pressure_words == 8
+        assert engine.counters["queue_pressure"] >= 1
+
+    def test_queue_pressure_release(self):
+        machine, program, base = _machine()
+        _attach(machine,
+                FaultSpec(kind="queue", node=3, words=8, start=0, stop=5))
+        _echo(machine, program)  # keep the machine awake past cycle 5
+        machine.run(max_cycles=10_000)
+        assert machine.node(3).proc.queues[Priority.P0].pressure_words == 0
+
+    def test_amt_poison_evicts_entries(self):
+        machine, program, base = _machine(n=4)
+        amt = machine.node(2).proc.amt
+        amt.enter(100, 200)
+        amt.enter(101, 201)
+        engine = _attach(machine,
+                         FaultSpec(kind="poison", node=2, start=0))
+        machine.run(max_cycles=10)
+        assert engine.counters["poisoned_entries"] == 2
+
+
+class TestObservability:
+    def test_chaos_events_reach_telemetry(self):
+        telemetry = Telemetry(events=True)
+        machine, program, base = _machine(telemetry=telemetry)
+        _attach(machine, FaultSpec(kind="drop", rate=1.0))
+        _echo(machine, program)
+        machine.run(max_cycles=10_000)
+        kinds = [event[1] for event in telemetry.events.events]
+        assert "chaos" in kinds
+        chaos_events = [e for e in telemetry.events.events if e[1] == "chaos"]
+        assert any(e[4] == "drop" for e in chaos_events)
+
+    def test_chaos_metrics_source_registered(self):
+        telemetry = Telemetry(events=False)
+        machine, program, base = _machine(telemetry=telemetry)
+        engine = _attach(machine, FaultSpec(kind="drop", rate=1.0))
+        _echo(machine, program)
+        machine.run(max_cycles=10_000)
+        sample = telemetry.registry.snapshot()
+        assert sample["chaos.drops"] == 1
+        assert engine.summary() == {"drops": 1}
+
+    def test_log_records_injections_in_order(self):
+        machine, program, base = _machine()
+        engine = _attach(machine, FaultSpec(kind="drop", rate=1.0))
+        for value in (1, 2):
+            _echo(machine, program, value=value)
+        machine.run(max_cycles=20_000)
+        drops = [entry for entry in engine.log if entry[1] == "drop"]
+        assert len(drops) == 2
+        assert drops[0][0] <= drops[1][0]
+
+    def test_deliveries_committed_counts(self):
+        machine, program, base = _machine()
+        _echo(machine, program)
+        machine.run(max_cycles=10_000)
+        # echo request + landing reply
+        assert machine.deliveries_committed == 2

@@ -1,0 +1,115 @@
+"""FaultPlan / FaultSpec: validation, windows, streams, serialization."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.core.errors import ConfigurationError
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultSpec(kind="meteor")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="drop", rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="drop", rate=-0.1)
+
+    def test_rate_kinds_need_rate(self):
+        with pytest.raises(ConfigurationError, match="rate > 0"):
+            FaultSpec(kind="drop")
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError, match="window"):
+            FaultSpec(kind="drop", rate=0.1, start=100, stop=50)
+
+    def test_stall_needs_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultSpec(kind="stall", node=0)
+
+    def test_queue_needs_words(self):
+        with pytest.raises(ConfigurationError, match="words"):
+            FaultSpec(kind="queue", node=0)
+
+    def test_scheduled_kinds_need_node(self):
+        for kind in ("link", "kill", "poison"):
+            with pytest.raises(ConfigurationError, match="needs a node"):
+                FaultSpec(kind=kind)
+
+    def test_every_kind_constructible(self):
+        specs = [
+            FaultSpec(kind="drop", rate=0.5),
+            FaultSpec(kind="corrupt", rate=0.5),
+            FaultSpec(kind="delay", rate=0.5, delay=10),
+            FaultSpec(kind="link", node=1),
+            FaultSpec(kind="stall", node=1, duration=5),
+            FaultSpec(kind="kill", node=1),
+            FaultSpec(kind="queue", node=1, words=8),
+            FaultSpec(kind="poison", node=1),
+        ]
+        assert {spec.kind for spec in specs} == set(FAULT_KINDS)
+
+
+class TestWindow:
+    def test_open_ended(self):
+        spec = FaultSpec(kind="drop", rate=0.5, start=10)
+        assert not spec.active(9)
+        assert spec.active(10)
+        assert spec.active(10**9)
+
+    def test_half_open(self):
+        spec = FaultSpec(kind="drop", rate=0.5, start=10, stop=20)
+        assert spec.active(19)
+        assert not spec.active(20)
+
+
+class TestPlan:
+    def test_specs_must_be_fault_specs(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(specs=({"kind": "drop"},))
+
+    def test_rng_streams_are_independent_and_deterministic(self):
+        plan = FaultPlan(seed=42)
+        a1 = [plan.rng("fabric").random() for _ in range(3)]
+        a2 = [plan.rng("fabric").random() for _ in range(3)]
+        b = [plan.rng("macro").random() for _ in range(3)]
+        assert a1 == a2
+        assert a1 != b
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan(seed=1).rng("fabric").random() != \
+            FaultPlan(seed=2).rng("fabric").random()
+
+    def test_by_kind(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="drop", rate=0.1),
+            FaultSpec(kind="kill", node=3),
+        ))
+        assert [s.kind for s in plan.by_kind("drop")] == ["drop"]
+        assert [s.kind for s in plan.by_kind("drop", "kill")] == \
+            ["drop", "kill"]
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(seed=9, name="rt", specs=(
+            FaultSpec(kind="drop", rate=0.25, start=5, stop=500),
+            FaultSpec(kind="stall", node=2, start=10, duration=99),
+            FaultSpec(kind="queue", node=0, words=16),
+        ))
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded == plan
+
+    def test_to_dict_omits_defaults(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="drop", rate=0.5),))
+        spec_dict = plan.to_dict()["specs"][0]
+        assert spec_dict == {"kind": "drop", "rate": 0.5}
+
+    def test_message_loss_convenience(self):
+        plan = FaultPlan.message_loss(0.01, seed=5)
+        assert plan.seed == 5
+        assert len(plan.specs) == 1
+        assert plan.specs[0].kind == "drop"
+        assert plan.specs[0].rate == 0.01

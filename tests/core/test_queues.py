@@ -3,7 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.errors import ConfigurationError, QueueOverflowFault
+from repro.core.errors import (ConfigurationError, QueueOverflowFault,
+                               QueueUnderflowError, SimulationError)
 from repro.core.message import Message
 from repro.core.queues import DEFAULT_QUEUE_WORDS, MIN_MESSAGE_WORDS, MessageQueue
 from repro.core.word import Word
@@ -80,8 +81,21 @@ class TestFifo:
         assert MessageQueue().head() is None
 
     def test_dequeue_empty_raises(self):
-        with pytest.raises(QueueOverflowFault):
+        # Host-side misuse is an underflow, not the architectural
+        # overflow fault (which means "message arrived, no room").
+        with pytest.raises(QueueUnderflowError):
             MessageQueue().dequeue()
+        with pytest.raises(SimulationError):
+            MessageQueue().dequeue()
+
+    def test_queue_pressure_shrinks_free_words(self):
+        queue = MessageQueue(capacity_words=8)
+        baseline = queue.free_words
+        queue.pressure_words = 4
+        assert queue.free_words == baseline - 4
+        queue.clear()
+        assert queue.pressure_words == 0
+        assert queue.free_words == baseline
 
     def test_dequeue_frees_space(self):
         queue = MessageQueue(capacity_words=4)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import DeadlockError, SimulationError
 from repro.core.message import Message
 from repro.core.word import Word
 from repro.network.fabric import Fabric
@@ -90,7 +90,7 @@ class TestWatchdog:
                         lambda n, m, t: None)
         fabric.watchdog_cycles = 100
         fabric.send(_message(0, 1), 0)
-        with pytest.raises(ConfigurationError, match="no progress"):
+        with pytest.raises(DeadlockError, match="no progress"):
             for now in range(1_000):
                 fabric.step(now)
 
@@ -99,9 +99,113 @@ class TestWatchdog:
                         lambda n, m, t: None)
         fabric.watchdog_cycles = 50
         fabric.send(_message(0, 1), 0)
-        with pytest.raises(ConfigurationError, match="0->1"):
+        with pytest.raises(DeadlockError, match="0->1"):
             for now in range(1_000):
                 fabric.step(now)
+
+    def test_error_is_typed_and_carries_diagnostics(self):
+        fabric = Fabric(Mesh3D(2, 1, 1), lambda n, m: False,
+                        lambda n, m, t: None)
+        fabric.watchdog_cycles = 100
+        fabric.send(_message(0, 1), 0)
+        with pytest.raises(DeadlockError) as excinfo:
+            for now in range(1_000):
+                fabric.step(now)
+        err = excinfo.value
+        assert isinstance(err, SimulationError)
+        assert err.worms_in_flight == 1
+        assert err.now >= fabric.watchdog_cycles
+
+    def test_stagnation_emits_watchdog_event(self):
+        from repro.telemetry.events import EventBus
+
+        fabric = Fabric(Mesh3D(2, 1, 1), lambda n, m: False,
+                        lambda n, m, t: None)
+        fabric.watchdog_cycles = 50
+        fabric._events = bus = EventBus()
+        fabric.send(_message(0, 1), 0)
+        with pytest.raises(DeadlockError):
+            for now in range(1_000):
+                fabric.step(now)
+        kinds = [e[1] for e in bus.events]
+        assert "watchdog" in kinds
+        watchdog_events = [e for e in bus.events if e[1] == "watchdog"]
+        assert watchdog_events[0][4] == "net-stagnation"
+
+    def test_diagnostic_names_the_blocking_worm(self):
+        """A worm stuck behind another worm reports its blocker."""
+        accepted = []
+
+        def accept(node, message):
+            # Refuse everything: both worms wedge, the second behind
+            # the first on the shared X channel.
+            return False
+
+        fabric = Fabric(Mesh3D(4, 1, 1), accept, lambda n, m, t: None)
+        fabric.watchdog_cycles = 60
+        fabric.send(_message(0, 3, length=8), 0)
+        fabric.send(_message(1, 3, length=8), 0)
+        with pytest.raises(DeadlockError, match="blocked_by"):
+            for now in range(1_000):
+                fabric.step(now)
+        assert not accepted
+
+
+class TestBounce:
+    """Return-to-sender flow control (the critique's proposed protocol)."""
+
+    def _refuse_n_times(self, n):
+        refusals = {"left": n}
+
+        def accept(node, message):
+            if refusals["left"] > 0:
+                refusals["left"] -= 1
+                return False
+            return True
+
+        return accept
+
+    def test_refused_message_bounces_and_retries(self):
+        delivered = []
+        fabric = Fabric(Mesh3D(4, 1, 1), self._refuse_n_times(1),
+                        lambda n, m, t: delivered.append((n, m, t)),
+                        flow_control="return_to_sender")
+        fabric.send(_message(0, 3), 0)
+        _run(fabric, limit=10_000)
+        assert fabric.stats.bounces == 1
+        # The original message is eventually delivered, once.
+        assert len(delivered) == 1
+        assert delivered[0][0] == 3
+        assert delivered[0][1].dest == 3
+
+    def test_bounce_frees_the_path(self):
+        """After a bounce no channel stays owned by the dead worm."""
+        fabric = Fabric(Mesh3D(4, 1, 1), self._refuse_n_times(1),
+                        lambda n, m, t: None,
+                        flow_control="return_to_sender")
+        fabric.send(_message(0, 3), 0)
+        _run(fabric, limit=10_000)
+        assert not fabric.active
+        assert fabric._owner == {} or all(
+            w.done is False for w in fabric._owner.values())
+
+    def test_repeated_refusal_bounces_repeatedly(self):
+        delivered = []
+        fabric = Fabric(Mesh3D(4, 1, 1), self._refuse_n_times(3),
+                        lambda n, m, t: delivered.append(n),
+                        flow_control="return_to_sender")
+        fabric.send(_message(0, 3), 0)
+        _run(fabric, limit=50_000)
+        assert fabric.stats.bounces == 3
+        assert delivered == [3]
+
+    def test_block_mode_never_bounces(self):
+        fabric = Fabric(Mesh3D(4, 1, 1), self._refuse_n_times(5),
+                        lambda n, m, t: None)  # default: block
+        fabric.send(_message(0, 3), 0)
+        _run(fabric, limit=200)
+        assert fabric.stats.bounces == 0
+        assert fabric.stats.delivery_stall_cycles > 0
 
     def test_does_not_trip_on_healthy_traffic(self):
         fabric = Fabric(Mesh3D(4, 4, 4), lambda n, m: True,

@@ -138,6 +138,49 @@ def test_report_identical_ping():
     assert fast == slow
 
 
+# ------------------------------------------------------- chaos is free
+
+
+def _chaos_run(fast, attach_empty_plan):
+    """Ping with telemetry, optionally with an armed-but-empty FaultPlan."""
+    from repro.chaos import ChaosEngine, FaultPlan
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    machine = JMachine(MachineConfig(dims=(2, 2, 2), fast_path=fast),
+                       telemetry=telemetry)
+    engine = None
+    if attach_empty_plan:
+        engine = ChaosEngine(FaultPlan(seed=31)).attach_machine(machine)
+    run_ping(machine, 0, 7, iterations=6)
+    sample = telemetry.registry.snapshot()
+    if attach_empty_plan:
+        # Strip the chaos source's own (all-zero) metrics before
+        # comparing against the engine-less run, and prove they are zero.
+        chaos_keys = [k for k in sample if k.startswith("chaos.")]
+        assert chaos_keys and all(sample[k] == 0 for k in chaos_keys)
+        for key in chaos_keys:
+            del sample[key]
+        assert engine.faults_injected == 0
+    return (machine.now, _machine_counters(machine), sample,
+            list(telemetry.events.iter_dicts()))
+
+
+def test_empty_fault_plan_is_bit_identical_fast():
+    """The zero-cost clause: an attached ChaosEngine with no faults must
+    not perturb a single cycle, counter, or telemetry event."""
+    assert _chaos_run(True, False) == _chaos_run(True, True)
+
+
+def test_empty_fault_plan_is_bit_identical_slow():
+    assert _chaos_run(False, False) == _chaos_run(False, True)
+
+
+def test_empty_fault_plan_fast_slow_identical():
+    """Both dimensions at once: chaos attached, fast vs reference path."""
+    assert _chaos_run(True, True) == _chaos_run(False, True)
+
+
 # ------------------------------------------------- random straight-line
 
 
