@@ -1,22 +1,26 @@
 # Convenience targets for the J-Machine reproduction.
 
-.PHONY: install test bench perfsmoke telemetry-gate chaos-smoke check \
-	paper report examples clean
+.PHONY: install test bench perfsmoke telemetry-gate chaos-smoke \
+	trace-smoke check paper report examples clean
 
 install:
 	pip install -e .
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
-# Simulator-throughput regression smoke: re-measures BENCH_simspeed.json.
-# Compare against the committed baseline (docs/PERFORMANCE.md explains how).
+# Simulator-throughput regression smoke: re-measures BENCH_simspeed.json
+# and appends the run to its in-tree "trajectory" history, so the perf
+# trend accumulates across commits (docs/PERFORMANCE.md explains how).
 perfsmoke:
 	PYTHONPATH=src python -m pytest benchmarks/bench_simulator_speed.py \
-		--benchmark-only --benchmark-json=BENCH_simspeed.json
+		--benchmark-only --benchmark-json=BENCH_simspeed_run.json
+	PYTHONPATH=src python benchmarks/append_trajectory.py \
+		BENCH_simspeed_run.json BENCH_simspeed.json
+	rm -f BENCH_simspeed_run.json
 
 # Telemetry-overhead gate: attaching metrics-only telemetry must stay
 # within 3% of the uninstrumented loaded-fabric benchmark.  Reads the
@@ -31,8 +35,15 @@ telemetry-gate: perfsmoke
 chaos-smoke:
 	PYTHONPATH=src python benchmarks/chaos_sweep.py --smoke
 
-# The full gate: correctness, throughput, telemetry overhead, chaos.
-check: test telemetry-gate chaos-smoke
+# Causal-tracing smoke: a tiny traced LCS run asserting the critical
+# path is connected and acyclic and that its per-category attribution
+# stays within the machine's cycle count (docs/OBSERVABILITY.md).
+trace-smoke:
+	PYTHONPATH=src python benchmarks/bench_critical_path.py --smoke
+
+# The full gate: correctness, throughput, telemetry overhead, chaos,
+# causal tracing.
+check: test telemetry-gate chaos-smoke trace-smoke
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:
@@ -47,5 +58,5 @@ examples:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results.txt \
-	       RESULTS.md RESULTS_PAPER.md
+	       RESULTS.md RESULTS_PAPER.md BENCH_simspeed_run.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

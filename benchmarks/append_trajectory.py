@@ -1,0 +1,74 @@
+"""Accumulate perfsmoke results into a perf-trajectory history.
+
+``make perfsmoke`` measures simulator throughput into a pytest-benchmark
+JSON file — which pytest-benchmark *overwrites* on every run, so the
+history of past measurements was lost.  This script merges a fresh run
+into the committed artifact instead: the destination keeps the full
+latest pytest-benchmark payload (so ``check_telemetry_overhead.py`` and
+``python -m repro.telemetry report`` style tooling keep working) plus a
+``trajectory`` list with one timestamped summary entry per run, oldest
+first.  Each entry records the run's own pytest-benchmark timestamp,
+the commit it measured, and min/mean seconds per benchmark, so the
+throughput trend over the repo's history accumulates in-tree.
+
+Usage (what the Makefile runs)::
+
+    PYTHONPATH=src python benchmarks/append_trajectory.py \
+        BENCH_simspeed_run.json BENCH_simspeed.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+
+def summarize(data: dict) -> dict:
+    """One compact trajectory entry for a pytest-benchmark payload."""
+    commit = (data.get("commit_info") or {}).get("id")
+    return {
+        "datetime": data.get("datetime"),
+        "commit": commit[:12] if isinstance(commit, str) else None,
+        "benchmarks": {
+            bench["name"]: {
+                "min": bench["stats"]["min"],
+                "mean": bench["stats"]["mean"],
+            }
+            for bench in data.get("benchmarks", [])
+        },
+    }
+
+
+def merge(run_path: str, dest_path: str) -> int:
+    with open(run_path, "r", encoding="utf-8") as handle:
+        run = json.load(handle)
+    trajectory = []
+    if os.path.exists(dest_path):
+        try:
+            with open(dest_path, "r", encoding="utf-8") as handle:
+                trajectory = json.load(handle).get("trajectory", [])
+        except (ValueError, OSError):
+            trajectory = []  # a corrupt artifact should not block perfsmoke
+    trajectory.append(summarize(run))
+    run["trajectory"] = trajectory
+    with open(dest_path, "w", encoding="utf-8") as handle:
+        json.dump(run, handle, indent=4)
+        handle.write("\n")
+    entry = trajectory[-1]
+    print(f"perf trajectory: {len(trajectory)} entries in {dest_path} "
+          f"(latest {entry['datetime']}, "
+          f"{len(entry['benchmarks'])} benchmarks)")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return merge(argv[0], argv[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,25 @@
-"""Timeline tracing: export a Perfetto-loadable trace of an LCS run.
+"""Timeline tracing: Perfetto export + critical-path analysis of LCS.
 
 The telemetry layer attaches to a simulator at construction, pulls
 metric snapshots from the live counters, and records structured events
 (task execution, message send/deliver) with simulated-cycle timestamps.
-This example:
+With ``Telemetry(trace=True)`` every message additionally carries a
+causal ``(trace, span, parent)`` context.  This example:
 
 1. Runs a small systolic LCS job (the paper's Section 4.2 benchmark)
-   on the macro simulator with telemetry attached.
+   on the macro simulator with causal tracing on.
 2. Writes ``lcs_trace.json`` — open it at https://ui.perfetto.dev (or
    ``chrome://tracing``) to see one track per node with every handler
-   invocation as a slice.
-3. Prints the hottest handlers from the :class:`SimReport` aggregate.
+   invocation as a slice *and* send→deliver flow arrows following each
+   character message down the systolic pipeline.
+3. Writes ``lcs_events.jsonl`` — the raw stream the offline analyzer
+   consumes (``python -m repro.telemetry critical-path
+   lcs_events.jsonl``).
+4. Rebuilds the causal graph and prints the run's critical path: which
+   chain of handlers bound the run time, where its cycles went
+   (compute / dispatch / send / net / sync / xlate), and the available
+   parallelism — the speedup ceiling that explains the Figure 5 knee.
+5. Prints the hottest handlers from the :class:`SimReport` aggregate.
 
 Run with::
 
@@ -20,7 +29,7 @@ Run with::
 import sys
 
 from repro.apps.lcs import LcsParams, run_parallel
-from repro.telemetry import Telemetry
+from repro.telemetry import CausalGraph, Telemetry
 
 N_NODES = 8
 
@@ -30,14 +39,23 @@ def main() -> None:
     b_len = int(sys.argv[2]) if len(sys.argv) > 2 else 256
     params = LcsParams(a_len=a_len, b_len=b_len)
 
-    telemetry = Telemetry()
+    telemetry = Telemetry(trace=True)
     result = run_parallel(N_NODES, params, telemetry=telemetry)
     print(f"LCS({a_len}, {b_len}) on {N_NODES} nodes = {result.output} "
           f"in {result.cycles} cycles")
 
     n_events = telemetry.write_chrome_trace("lcs_trace.json")
-    print(f"wrote lcs_trace.json ({n_events} trace events) — "
-          f"load it at https://ui.perfetto.dev")
+    print(f"wrote lcs_trace.json ({n_events} trace events, with flow "
+          f"arrows) — load it at https://ui.perfetto.dev")
+    n_lines = telemetry.write_jsonl("lcs_events.jsonl")
+    print(f"wrote lcs_events.jsonl ({n_lines} events) — analyze offline "
+          f"with: python -m repro.telemetry critical-path "
+          f"lcs_events.jsonl")
+
+    graph = CausalGraph.from_bus(telemetry.events)
+    print(f"\ncausal graph: {graph.summary()}")
+    path = graph.critical_path()
+    print(path.format(limit=3))
 
     report = result.sim.report()
     print("\nhottest handlers (cycles):")

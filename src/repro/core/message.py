@@ -36,6 +36,7 @@ class Message:
         "bounce_of",
         "injection_reported",
         "corrupted",
+        "trace",
     )
 
     def __init__(
@@ -70,6 +71,12 @@ class Message:
         #: :mod:`repro.chaos`); the receiving node's software checksum
         #: will reject the message instead of dispatching it.
         self.corrupted = False
+        #: Causal-tracing context ``(trace_id, span_id, parent_span)``
+        #: stamped by the sending interface when tracing is enabled (see
+        #: :mod:`repro.telemetry.trace`); None otherwise.  Like the
+        #: timestamps above, it is carrier metadata — programs never see
+        #: it, and it occupies no message words.
+        self.trace = None
 
     @property
     def handler_ip(self) -> int:

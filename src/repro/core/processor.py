@@ -168,6 +168,9 @@ class _Thread:
     message: Optional[Message] = None
     #: True until the 4-cycle dispatch sequence has completed.
     needs_dispatch: bool = False
+    #: Trace context of the dispatching message (None when untraced);
+    #: sends issued by this thread become children of it.
+    trace: Optional[tuple] = None
 
 
 @dataclass
@@ -180,6 +183,7 @@ class _SuspendedThread:
     window: List[Word] = field(default_factory=list)
     window_base: int = 0
     restart_cycles: int = 20
+    trace: Optional[tuple] = None
 
 
 # Categories for instruction kinds (Figure 6 accounting).
@@ -345,13 +349,27 @@ class Mdp:
             self._spill.append(message)
             self.counters.spills += 1
             if self._events is not None:
-                self._events.emit("queue-overflow", now, self.node_id,
-                                  int(message.priority), src=message.source)
+                t = message.trace
+                if t is None:
+                    self._events.emit("queue-overflow", now, self.node_id,
+                                      int(message.priority),
+                                      src=message.source)
+                else:
+                    self._events.emit("queue-overflow", now, self.node_id,
+                                      int(message.priority),
+                                      src=message.source,
+                                      trace=t[0], span=t[1], parent=t[2])
             return
         queue.enqueue(message)
         if self._events is not None:
-            self._events.emit("deliver", now, self.node_id,
-                              int(message.priority), src=message.source)
+            t = message.trace
+            if t is None:
+                self._events.emit("deliver", now, self.node_id,
+                                  int(message.priority), src=message.source)
+            else:
+                self._events.emit("deliver", now, self.node_id,
+                                  int(message.priority), src=message.source,
+                                  trace=t[0], span=t[1], parent=t[2])
 
     def checksum_reject(self, message: Message, now: int) -> int:
         """Discard a corrupted arrival: the software integrity check failed.
@@ -366,9 +384,16 @@ class Mdp:
         cost = self.costs.fault_vector + 2 * message.length
         self._charge("fault", cost)
         if self._events is not None:
-            self._events.emit("chaos", now, self.node_id,
-                              int(message.priority), name="checksum-reject",
-                              src=message.source)
+            t = message.trace
+            if t is None:
+                self._events.emit("chaos", now, self.node_id,
+                                  int(message.priority),
+                                  name="checksum-reject", src=message.source)
+            else:
+                self._events.emit("chaos", now, self.node_id,
+                                  int(message.priority),
+                                  name="checksum-reject", src=message.source,
+                                  trace=t[0], span=t[1], parent=t[2])
         return cost
 
     def _refill_from_spill(self) -> int:
@@ -390,6 +415,19 @@ class Mdp:
         if cost:
             self._charge("fault", cost)
         return cost
+
+    def current_trace(self) -> Optional[tuple]:
+        """Trace context of the thread executing right now, or None.
+
+        The network interface consults this when a SEND launches a
+        message, so the message becomes a child span of the message that
+        dispatched the sending thread (:mod:`repro.telemetry.trace`).
+        """
+        priority = self._active_priority
+        if priority is None:
+            return None
+        thread = self._current[priority]
+        return thread.trace if thread is not None else None
 
     def has_work(self) -> bool:
         """True if the processor would do anything if ticked."""
@@ -637,13 +675,23 @@ class Mdp:
         regset = self.registers[priority]
         regset.ip = message.handler_ip
         regset.write("A3", Word.segment(window, min(message.length, MSG_WINDOW_WORDS)))
-        self._current[priority] = _Thread(priority, message=message)
+        self._current[priority] = _Thread(priority, message=message,
+                                          trace=message.trace)
         self.counters.dispatches += 1
         self._charge("dispatch", self.costs.dispatch)
         if self._events is not None:
-            self._events.emit("dispatch", now, self.node_id, int(priority),
-                              name=f"handler@{message.handler_ip}",
-                              src=message.source)
+            t = message.trace
+            if t is None:
+                self._events.emit("dispatch", now, self.node_id,
+                                  int(priority),
+                                  name=f"handler@{message.handler_ip}",
+                                  src=message.source)
+            else:
+                self._events.emit("dispatch", now, self.node_id,
+                                  int(priority),
+                                  name=f"handler@{message.handler_ip}",
+                                  src=message.source,
+                                  trace=t[0], span=t[1], parent=t[2])
         return self.costs.dispatch
 
     def _do_restart(self, priority: Priority, now: int) -> int:
@@ -658,12 +706,19 @@ class Mdp:
             regset.write(
                 "A3", Word.segment(suspended.window_base, len(suspended.window))
             )
-        self._current[priority] = _Thread(priority, message=None)
+        self._current[priority] = _Thread(priority, message=None,
+                                          trace=suspended.trace)
         self.counters.restarts += 1
         self._charge("sync", suspended.restart_cycles)
         if self._events is not None:
-            self._events.emit("restart", now, self.node_id, int(priority),
-                              name=f"restart@{suspended.ip}")
+            t = suspended.trace
+            if t is None:
+                self._events.emit("restart", now, self.node_id,
+                                  int(priority), name=f"restart@{suspended.ip}")
+            else:
+                self._events.emit("restart", now, self.node_id,
+                                  int(priority), name=f"restart@{suspended.ip}",
+                                  trace=t[0], span=t[1], parent=t[2])
         return suspended.restart_cycles
 
     # -------------------------------------------------------------- execution
@@ -813,6 +868,7 @@ class Mdp:
             window=window,
             window_base=window_base,
             restart_cycles=restart_cycles,
+            trace=thread.trace,
         )
         self._watch.setdefault(address, []).append(suspended)
         self._current[priority] = None
@@ -821,8 +877,14 @@ class Mdp:
         if self._events is not None:
             # _event_time is the faulting instruction's start time, which
             # is identical on the fast and reference paths.
-            self._events.emit("suspend", self._event_time, self.node_id,
-                              int(priority), addr=address)
+            t = thread.trace
+            if t is None:
+                self._events.emit("suspend", self._event_time, self.node_id,
+                                  int(priority), addr=address)
+            else:
+                self._events.emit("suspend", self._event_time, self.node_id,
+                                  int(priority), addr=address,
+                                  trace=t[0], span=t[1], parent=t[2])
 
     def _wake_watchers(self, address: int) -> None:
         woke = False
@@ -983,8 +1045,14 @@ class Mdp:
             self._current[priority] = None
             self.counters.threads_completed += 1
         if self._events is not None:
-            self._events.emit("thread-end", self._event_time, self.node_id,
-                              int(priority))
+            t = thread.trace if thread is not None else None
+            if t is None:
+                self._events.emit("thread-end", self._event_time,
+                                  self.node_id, int(priority))
+            else:
+                self._events.emit("thread-end", self._event_time,
+                                  self.node_id, int(priority),
+                                  trace=t[0], span=t[1], parent=t[2])
         for observer in self.on_thread_complete:
             observer(self, message)
 

@@ -108,10 +108,11 @@ class Context:
     """
 
     __slots__ = ("sim", "node", "node_id", "start_time", "charged",
-                 "_handler_name", "_config", "_profile", "_stats")
+                 "_handler_name", "_config", "_profile", "_stats",
+                 "trace", "_cats")
 
     def __init__(self, sim: "MacroSimulator", node: SimNode, start_time: int,
-                 handler_name: str) -> None:
+                 handler_name: str, trace: Optional[tuple] = None) -> None:
         self.sim = sim
         self.node = node
         self.node_id = node.node_id
@@ -126,6 +127,15 @@ class Context:
         self._config = sim.config
         self._profile = node.profile.__dict__
         self._stats = sim.handler_stats[handler_name]
+        #: Trace context of the message that created this task; sends
+        #: become child spans of it (:mod:`repro.telemetry.trace`).
+        self.trace = trace
+        # Per-task category breakdown, recorded on the task event so the
+        # critical-path analyzer can attribute this task's cycles.  Only
+        # maintained for traced tasks — untraced runs keep every charge
+        # site on a single ``is None`` test.
+        self._cats: Optional[Dict[str, int]] = \
+            {} if trace is not None else None
 
     # -- identity ----------------------------------------------------------
 
@@ -162,6 +172,9 @@ class Context:
         stats = self._stats
         stats.instructions += instructions
         stats.cycles += cycles
+        cats = self._cats
+        if cats is not None:
+            cats[category] = cats.get(category, 0) + cycles
 
     def xlate(self, count: int = 1, fault: bool = False) -> None:
         """Charge ``count`` name translations (Table 5's xlate columns)."""
@@ -174,6 +187,9 @@ class Context:
             profile["xlate_faults"] += count
         self.charged += cycles
         self._stats.cycles += cycles
+        cats = self._cats
+        if cats is not None:
+            cats["xlate"] = cats.get("xlate", 0) + cycles
 
     def nnr(self, count: int = 1) -> None:
         """Charge node-index-to-router-address conversions (Figure 6)."""
@@ -181,12 +197,18 @@ class Context:
         self._profile["nnr"] += cycles
         self.charged += cycles
         self._stats.cycles += cycles
+        cats = self._cats
+        if cats is not None:
+            cats["nnr"] = cats.get("nnr", 0) + cycles
 
     def sync(self, cycles: int) -> None:
         """Charge synchronization overhead (suspends, null yields)."""
         self._profile["sync"] += cycles
         self.charged += cycles
         self._stats.cycles += cycles
+        cats = self._cats
+        if cats is not None:
+            cats["sync"] = cats.get("sync", 0) + cycles
 
     # -- communication ----------------------------------------------------------
 
@@ -208,8 +230,15 @@ class Context:
         self._profile["comm"] += overhead
         self.charged += overhead
         self._stats.cycles += overhead
+        cats = self._cats
+        if cats is not None:
+            cats["comm"] = cats.get("comm", 0) + overhead
+        trace = None
+        trace_state = self.sim._trace
+        if trace_state is not None:
+            trace = trace_state.derive(self.trace)
         self.sim.post(self.node_id, dest, handler, args, length, priority,
-                      self.start_time + self.charged)
+                      self.start_time + self.charged, trace)
 
     def call_local(self, handler: str, *args: Any, length: Optional[int] = None,
                    priority: int = 0) -> None:
@@ -255,6 +284,14 @@ class MacroSimulator:
         #: ``ChaosEngine.attach_macro``); None keeps :meth:`post` on its
         #: cheap ``is None`` branch.
         self._chaos = None
+        #: Causal-tracing allocator (:mod:`repro.telemetry.trace`),
+        #: installed by the wiring when ``Telemetry(trace=True)``.
+        self._trace = None
+        #: When set (by :class:`~repro.runtime.futures.FuturePool`
+        #: around a kickoff), :meth:`inject` joins this trace context
+        #: instead of rooting a new one, so request reissues stay in the
+        #: original request's trace.
+        self._inject_trace = None
         if telemetry is not None:
             from ..telemetry.wiring import instrument_macro
 
@@ -289,6 +326,7 @@ class MacroSimulator:
         length: int,
         priority: int,
         send_time: int,
+        trace: Optional[tuple] = None,
     ) -> None:
         """Route a message: compute its arrival and schedule delivery."""
         if handler not in self.handlers:
@@ -297,8 +335,16 @@ class MacroSimulator:
             raise SimulationError(f"destination {dest} out of range")
         self.messages_sent += 1
         if self._ebus is not None:
-            self._ebus.emit("send", send_time, source, 1 if priority else 0,
-                            name=handler, dest=dest, words=length)
+            if trace is None:
+                self._ebus.emit("send", send_time, source,
+                                1 if priority else 0,
+                                name=handler, dest=dest, words=length)
+            else:
+                self._ebus.emit("send", send_time, source,
+                                1 if priority else 0,
+                                name=handler, dest=dest, words=length,
+                                trace=trace[0], span=trace[1],
+                                parent=trace[2])
         latency = self.network.latency(source, dest, length, send_time)
         if self._chaos is not None:
             dropped, extra = self._chaos.macro_verdict(
@@ -314,7 +360,7 @@ class MacroSimulator:
         heapq.heappush(
             self._events,
             (arrival, self._seq, self._ARRIVAL, dest,
-             handler, args, length, priority),
+             handler, args, length, priority, trace),
         )
         self._seq += 1
 
@@ -324,8 +370,11 @@ class MacroSimulator:
         """Host-side kickoff message (no sender-side charges)."""
         if length is None:
             length = 1 + len(args)
+        trace = self._inject_trace
+        if trace is None and self._trace is not None:
+            trace = self._trace.root()
         self.post(dest, dest, handler, args, length, priority,
-                  self.now if at is None else at)
+                  self.now if at is None else at, trace)
 
     # -- the engine ----------------------------------------------------------------
 
@@ -344,7 +393,7 @@ class MacroSimulator:
         heapq.heappush(
             self._events,
             (max(when, self.now), self._seq, self._TIMER, 0, None, (fn,),
-             0, 0),
+             0, 0, None),
         )
         self._seq += 1
 
@@ -361,23 +410,34 @@ class MacroSimulator:
         queues = node.queues
         priority = 1 if queues[1] else 0
         queue = queues[priority]
-        handler_name, args = queue.popleft()
+        handler_name, args, trace = queue.popleft()
         self.handler_stats[handler_name].invocations += 1
         dispatch = self.config.dispatch_cycles
         node.profile.__dict__["comm"] += dispatch
-        ctx = Context(self, node, start + dispatch, handler_name)
+        ctx = Context(self, node, start + dispatch, handler_name, trace)
         self.handlers[handler_name](ctx, *args)
         end = ctx.start_time + ctx.charged
         if self._ebus is not None:
-            self._ebus.emit("task", start, node.node_id, priority,
-                            name=handler_name, dur=end - start)
+            if trace is None:
+                self._ebus.emit("task", start, node.node_id, priority,
+                                name=handler_name, dur=end - start)
+            else:
+                # The recorded breakdown covers the task exactly: the
+                # hardware dispatch plus every cycle the context charged.
+                cats = ctx._cats
+                cats["dispatch"] = dispatch
+                self._ebus.emit("task", start, node.node_id, priority,
+                                name=handler_name, dur=end - start,
+                                trace=trace[0], span=trace[1],
+                                parent=trace[2], cats=cats)
         node.busy_until = end
         node.running = True
         if end > self.end_time:
             self.end_time = end
         heapq.heappush(
             self._events,
-            (end, self._seq, self._COMPLETE, node.node_id, None, (), 0, 0),
+            (end, self._seq, self._COMPLETE, node.node_id, None, (), 0, 0,
+             None),
         )
         self._seq += 1
 
@@ -398,9 +458,8 @@ class MacroSimulator:
         ebus = self._ebus
         processed = 0
         while events:
-            time, _, kind, dest, handler_name, args, length, priority = (
-                heappop(events)
-            )
+            (time, _, kind, dest, handler_name, args, length, priority,
+             trace) = heappop(events)
             if max_time is not None and time > max_time:
                 break
             self.now = time
@@ -421,9 +480,16 @@ class MacroSimulator:
                 node.messages_received += 1
                 handler_stats[handler_name].message_words += length
                 if ebus is not None:
-                    ebus.emit("deliver", time, dest, 1 if priority else 0,
-                              name=handler_name)
-                queues[1 if priority else 0].append((handler_name, args))
+                    if trace is None:
+                        ebus.emit("deliver", time, dest,
+                                  1 if priority else 0, name=handler_name)
+                    else:
+                        ebus.emit("deliver", time, dest,
+                                  1 if priority else 0, name=handler_name,
+                                  trace=trace[0], span=trace[1],
+                                  parent=trace[2])
+                queues[1 if priority else 0].append(
+                    (handler_name, args, trace))
                 depth = len(queues[0]) + len(queues[1])
                 if depth > node.queue_high_water:
                     node.queue_high_water = depth
@@ -432,6 +498,10 @@ class MacroSimulator:
             processed += 1
             if processed >= max_events:
                 raise SimulationError("macro simulation exceeded max_events")
+        if ebus is not None:
+            # Mirror the cycle level's end-of-run marker so the offline
+            # critical-path analyzer sees the run extent at both levels.
+            ebus.emit("run-end", self.end_time, -1)
         return self.end_time
 
     # -- reporting ---------------------------------------------------------------

@@ -71,6 +71,10 @@ class JMachine:
         #: Optional :class:`~repro.chaos.watchdog.DeadlockWatchdog`;
         #: polled once per run-loop iteration when set.
         self.watchdog = None
+        #: Causal-tracing allocator (:mod:`repro.telemetry.trace`),
+        #: installed by the wiring when ``Telemetry(trace=True)``; host
+        #: injections then root a fresh trace.
+        self._trace_state = None
         #: Attached telemetry rig (see :mod:`repro.telemetry`), or None.
         self.telemetry = telemetry
         if telemetry is not None:
@@ -117,6 +121,8 @@ class JMachine:
         src = dest if source is None else source
         message = Message.build(handler_ip, args, source=src, dest=dest,
                                 priority=priority)
+        if self._trace_state is not None:
+            message.trace = self._trace_state.root()
         self.fabric.send(message, self.now)
 
     # ------------------------------------------------------------- callbacks

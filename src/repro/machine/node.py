@@ -46,6 +46,13 @@ class NodeNetworkInterface(NetworkInterface):
         #: proposed node TLB): VNODE-tagged destinations are translated
         #: in the interface, for free on a hit.
         self.node_tlb = node_tlb
+        #: Causal tracing (:mod:`repro.telemetry.trace`): the shared
+        #: :class:`TraceState` allocator, installed by the telemetry
+        #: wiring, and a zero-arg callable returning the sending
+        #: thread's trace context (the processor's ``current_trace``).
+        #: Both None keeps launches on the cheap ``is None`` branch.
+        self.trace_state = None
+        self.trace_parent: Optional[Callable[[], Optional[tuple]]] = None
 
     # -- buffer accounting (freed when the fabric finishes injecting) -------
 
@@ -80,6 +87,10 @@ class NodeNetworkInterface(NetworkInterface):
         dest_word, body = words[0], words[1:]
         dest = self._decode_dest(dest_word)
         message = Message(body, source=self.node_id, dest=dest, priority=priority)
+        if self.trace_state is not None:
+            parent = self.trace_parent() if self.trace_parent is not None \
+                else None
+            message.trace = self.trace_state.derive(parent)
         self._outstanding_words += len(words)
         self._submit(message, now)
 
@@ -125,6 +136,9 @@ class Node:
             fast_path=config.fast_path,
         )
         self.proc.spill_enabled = config.queue_overflow_spills
+        # Sends become children of the message that dispatched the
+        # sending thread; the interface asks the processor at launch time.
+        self.interface.trace_parent = self.proc.current_trace
         #: Next scheduled tick time, or None when parked (machine-owned).
         self.next_tick: Optional[int] = None
 

@@ -190,9 +190,16 @@ class Fabric:
         self._staged.append((now + self.inject_latency, worm))
         self.stats.submitted += 1
         if self._events is not None:
-            self._events.emit("send", now, message.source,
-                              int(message.priority), dest=message.dest,
-                              words=message.length)
+            t = message.trace
+            if t is None:
+                self._events.emit("send", now, message.source,
+                                  int(message.priority), dest=message.dest,
+                                  words=message.length)
+            else:
+                self._events.emit("send", now, message.source,
+                                  int(message.priority), dest=message.dest,
+                                  words=message.length,
+                                  trace=t[0], span=t[1], parent=t[2])
 
     def _make_worm(self, message: Message, now: int) -> Worm:
         if not 0 <= message.dest < self.mesh.n_nodes:
@@ -412,6 +419,7 @@ class Fabric:
             priority=original.priority,
         )
         returned.bounce_of = original
+        returned.trace = original.trace  # one span covers the round trip
         returned.inject_time = now
         bounce_worm = self._make_worm(returned, now)
         self._staged.append((now + 1, bounce_worm))

@@ -72,13 +72,17 @@ class MacroFuture:
     """A macro-level completion future: resolved by a handler, awaited
     by the host (or by a :class:`FuturePool` deadline)."""
 
-    __slots__ = ("fid", "value", "resolved_at", "attempts")
+    __slots__ = ("fid", "value", "resolved_at", "attempts", "trace")
 
     def __init__(self, fid: Any) -> None:
         self.fid = fid
         self.value: Any = None
         self.resolved_at: Optional[int] = None
         self.attempts = 0
+        #: Trace context rooted for this request; kickoff injects (and
+        #: every deadline reissue) run under it, so the whole request —
+        #: retries included — is one trace.
+        self.trace: Optional[tuple] = None
 
     @property
     def done(self) -> bool:
@@ -130,9 +134,24 @@ class FuturePool:
     def spawn(self, fid: Any, kickoff: Callable[[int], None]) -> MacroFuture:
         """Issue ``kickoff(0)`` now and guard it with a deadline."""
         future = self.create(fid)
-        kickoff(0)
+        trace_state = getattr(self.sim, "_trace", None)
+        if trace_state is not None and future.trace is None:
+            future.trace = trace_state.root()
+        self._kickoff(future, kickoff, 0)
         self._arm(future, kickoff, self.sim.now, 0)
         return future
+
+    def _kickoff(self, future: MacroFuture, kickoff, attempt: int) -> None:
+        """Run a kickoff with injects joined to the request's trace."""
+        if future.trace is None:
+            kickoff(attempt)
+            return
+        sim = self.sim
+        sim._inject_trace = future.trace
+        try:
+            kickoff(attempt)
+        finally:
+            sim._inject_trace = None
 
     def _arm(self, future: MacroFuture, kickoff, issued_at: int,
              attempt: int) -> None:
@@ -154,7 +173,7 @@ class FuturePool:
             )
         self.reissues += 1
         future.attempts = attempt
-        kickoff(attempt)
+        self._kickoff(future, kickoff, attempt)
         self._arm(future, kickoff, now, attempt)
 
     @property

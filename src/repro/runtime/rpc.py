@@ -221,12 +221,12 @@ class ReliableLayer:
     # -- the sending side ---------------------------------------------------
 
     def _wrapped_post(self, source, dest, handler, args, length, priority,
-                      send_time):
+                      send_time, trace=None):
         if handler.startswith("__rel."):
             # Control traffic (envelopes being retransmitted, acks) goes
             # out raw; it is protected by retry + dedup, not recursion.
             self._raw_post(source, dest, handler, args, length, priority,
-                           send_time)
+                           send_time, trace)
             return
         if handler not in self.sim.handlers:
             raise SimulationError(f"no handler named {handler!r}")
@@ -237,10 +237,13 @@ class ReliableLayer:
         self._stream_next[stream] = sseq + 1
         wrapped_args = (seq, sseq, source, handler, args)
         wrapped_length = length + self.ENVELOPE_WORDS
+        # The trace context sticks to the *message*, not the attempt:
+        # every retransmission of this envelope reuses it, so a retry
+        # chain shows up as one span with a retry count, not a forest.
         self._pending[seq] = (source, dest, handler, args, wrapped_length,
-                              priority, 0, sseq)
+                              priority, 0, sseq, trace)
         self._raw_post(source, dest, self.RECV, wrapped_args, wrapped_length,
-                       priority, send_time)
+                       priority, send_time, trace)
         self._arm_timer(seq, send_time, 0)
 
     def _arm_timer(self, seq: int, sent_at: int, attempt: int) -> None:
@@ -253,7 +256,7 @@ class ReliableLayer:
         if entry is None:
             return  # acked in the meantime: the timer was stale
         (source, dest, handler, args, wrapped_length, priority, attempts,
-         sseq) = entry
+         sseq, trace) = entry
         attempts += 1
         chaos = getattr(self.sim, "_chaos", None)
         if attempts > self.max_retries:
@@ -271,13 +274,19 @@ class ReliableLayer:
             chaos.counters["retries"] += 1
         ebus = getattr(self.sim, "_ebus", None)
         if ebus is not None:
-            ebus.emit("retry", now, source, 1 if priority else 0,
-                      name=handler, dest=dest, seq=seq, attempt=attempts)
+            if trace is None:
+                ebus.emit("retry", now, source, 1 if priority else 0,
+                          name=handler, dest=dest, seq=seq, attempt=attempts)
+            else:
+                ebus.emit("retry", now, source, 1 if priority else 0,
+                          name=handler, dest=dest, seq=seq, attempt=attempts,
+                          trace=trace[0], span=trace[1], parent=trace[2])
         self._pending[seq] = (source, dest, handler, args, wrapped_length,
-                              priority, attempts, sseq)
+                              priority, attempts, sseq, trace)
+        # Retransmit with the *original* trace context (same span id).
         self._raw_post(source, dest, self.RECV,
                        (seq, sseq, source, handler, args),
-                       wrapped_length, priority, now)
+                       wrapped_length, priority, now, trace)
         self._arm_timer(seq, now, attempts)
 
     # -- the receiving side -------------------------------------------------

@@ -37,6 +37,7 @@ from typing import Any, Dict, Optional
 from .events import EVENT_KINDS, EventBus
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import SimReport
+from .trace import CausalGraph, TraceState
 
 __all__ = [
     "Telemetry",
@@ -47,6 +48,8 @@ __all__ = [
     "EventBus",
     "EVENT_KINDS",
     "SimReport",
+    "TraceState",
+    "CausalGraph",
 ]
 
 
@@ -56,14 +59,36 @@ class Telemetry:
     Pass one of these to ``JMachine(..., telemetry=...)`` or
     ``MacroSimulator(..., telemetry=...)`` and the standard wiring
     (:mod:`repro.telemetry.wiring`) is installed automatically.
+
+    ``Telemetry(trace=True)`` additionally turns on **causal tracing**:
+    every message carries a ``(trace_id, span_id, parent_span)`` context,
+    events gain span fields, the Perfetto export draws send→deliver flow
+    arrows, and the event stream feeds the offline critical-path
+    analyzer (:mod:`repro.telemetry.trace`, ``python -m repro.telemetry
+    critical-path events.jsonl``).  Tracing requires event collection.
     """
 
     def __init__(self, events: bool = True, event_limit: int = 1_000_000,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 trace: bool = False) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.events: Optional[EventBus] = (
             EventBus(limit=event_limit) if events else None
         )
+        if trace and self.events is None:
+            raise ValueError(
+                "tracing records span fields on events; "
+                "Telemetry(trace=True) requires events=True")
+        #: Shared trace-context allocator, or None when tracing is off.
+        self.trace: Optional[TraceState] = TraceState() if trace else None
+        if self.events is not None:
+            # Surface the bus's own health in snapshots: a report whose
+            # events.dropped is nonzero came from a truncated stream.
+            bus = self.events
+            self.registry.register_source(
+                "events",
+                lambda: {"collected": len(bus), "dropped": bus.dropped},
+            )
 
     def report(self, meta: Optional[Dict[str, Any]] = None) -> SimReport:
         """Snapshot every registered metric into a :class:`SimReport`."""

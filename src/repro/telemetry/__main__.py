@@ -1,10 +1,12 @@
-"""CLI for inspecting and diffing saved run reports.
+"""CLI for inspecting run reports and analyzing traced event streams.
 
 Usage::
 
     python -m repro.telemetry report run.json            # print a report
     python -m repro.telemetry report a.json b.json       # diff two runs
     python -m repro.telemetry report run.json --top 5 --suffix cycles
+    python -m repro.telemetry critical-path events.jsonl # causal analysis
+    python -m repro.telemetry critical-path events.jsonl --steps 10
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import sys
 from typing import List, Optional
 
 from .report import SimReport
+from .trace import CausalGraph
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -33,6 +36,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 0
     print(report.format(limit=args.limit))
     return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    graph = CausalGraph.from_jsonl(args.events)
+    print(graph.summary())
+    if not graph.spans:
+        print("no traced spans in this stream — was the run made with "
+              "Telemetry(trace=True)?")
+        return 1
+    path = graph.critical_path(dispatch_cycles=args.dispatch_cycles)
+    print(path.format(limit=args.steps))
+    return 0 if path.connected and path.acyclic else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -58,6 +73,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     report.add_argument("--swap", action="store_true",
                         help="diff with the baseline as the left column")
     report.set_defaults(fn=_cmd_report)
+
+    critical = sub.add_parser(
+        "critical-path",
+        help="rebuild the causal graph from a traced JSONL event stream "
+             "and report its critical path",
+    )
+    critical.add_argument("events", help="a write_jsonl event file from a "
+                                         "Telemetry(trace=True) run")
+    critical.add_argument("--steps", type=int, default=0,
+                          help="also show the N longest path steps")
+    critical.add_argument("--dispatch-cycles", type=int, default=4,
+                          help="hardware dispatch cost assumed for "
+                               "cycle-level spans (default: 4)")
+    critical.set_defaults(fn=_cmd_critical_path)
 
     args = parser.parse_args(argv)
     return args.fn(args)

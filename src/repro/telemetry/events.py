@@ -26,6 +26,7 @@ instruction.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["EVENT_KINDS", "EventBus"]
@@ -55,6 +56,19 @@ _PHASES = {
     "suspend": "E",
     "thread-end": "E",
     "task": "X",
+}
+
+#: Flow-event phase per kind, emitted *alongside* the regular event for
+#: events carrying a ``span``: a send starts a flow, the delivery steps
+#: it, the dispatch (cycle level) or task (macro level) terminates it —
+#: which is what renders the send→deliver arrows across node tracks in
+#: Perfetto.  The flow id is the span id, so retransmissions of one
+#: message join one arrow chain.
+_FLOW_PHASES = {
+    "send": "s",
+    "deliver": "t",
+    "dispatch": "f",
+    "task": "f",
 }
 
 _PRIORITY_NAMES = {0: "P0", 1: "P1", 2: "BG"}
@@ -117,14 +131,31 @@ class EventBus:
                 record.update(args)
             yield record
 
+    def _warn_if_truncated(self, path: str) -> None:
+        if self.dropped:
+            warnings.warn(
+                f"EventBus dropped {self.dropped} events past its "
+                f"{self.limit}-event limit; {path!r} is a truncated "
+                f"trace (raise Telemetry(event_limit=...) to capture "
+                f"everything)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def write_jsonl(self, path: str) -> int:
-        """One JSON object per line; returns the number written."""
+        """One JSON object per line; returns the number written.
+
+        Warns (``RuntimeWarning``) when the bus dropped events: a
+        truncated stream would otherwise be indistinguishable from a
+        complete one.
+        """
         count = 0
         with open(path, "w", encoding="utf-8") as fh:
             for record in self.iter_dicts():
                 fh.write(json.dumps(record, sort_keys=True))
                 fh.write("\n")
                 count += 1
+        self._warn_if_truncated(path)
         return count
 
     # -- Chrome trace-event format -------------------------------------------
@@ -175,6 +206,21 @@ class EventBus:
             if end_ts > max_ts:
                 max_ts = end_ts
             body.append(event)
+            if args and "span" in args:
+                flow_ph = _FLOW_PHASES.get(kind)
+                if flow_ph is not None:
+                    flow: Dict[str, Any] = {
+                        "name": "msg",
+                        "cat": "flow",
+                        "ph": flow_ph,
+                        "id": args["span"],
+                        "ts": ts,
+                        "pid": node,
+                        "tid": priority,
+                    }
+                    if flow_ph == "f":
+                        flow["bp"] = "e"  # bind to the enclosing slice
+                    body.append(flow)
         for (node, priority), open_slices in sorted(depth.items()):
             for _ in range(open_slices):
                 body.append({
@@ -198,8 +244,13 @@ class EventBus:
         return {"traceEvents": meta + body, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path: str) -> int:
-        """Write the Perfetto-loadable JSON; returns the event count."""
+        """Write the Perfetto-loadable JSON; returns the event count.
+
+        Warns (``RuntimeWarning``) when the bus dropped events — see
+        :meth:`write_jsonl`.
+        """
         trace = self.to_chrome_trace()
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(trace, fh)
+        self._warn_if_truncated(path)
         return len(trace["traceEvents"])

@@ -150,11 +150,25 @@ def install_machine_events(machine, bus) -> None:
     machine.fabric._events = bus
 
 
+def install_machine_tracing(machine, trace_state) -> None:
+    """Enable causal tracing: injects root traces, SENDs forward them.
+
+    Each node's network interface stamps outgoing messages with a child
+    of the sending thread's context (``Mdp.current_trace``); host
+    injections through :meth:`JMachine.inject` root fresh traces.
+    """
+    machine._trace_state = trace_state
+    for node in machine.nodes:
+        node.interface.trace_state = trace_state
+
+
 def instrument_machine(machine, telemetry: "Telemetry") -> None:
-    """Full standard wiring: metrics always, events when enabled."""
+    """Full standard wiring: metrics always, events/tracing when enabled."""
     register_machine_metrics(machine, telemetry.registry)
     if telemetry.events is not None:
         install_machine_events(machine, telemetry.events)
+        if telemetry.trace is not None:
+            install_machine_tracing(machine, telemetry.trace)
 
 
 # --------------------------------------------------------------- macro level
@@ -210,3 +224,5 @@ def instrument_macro(sim, telemetry: "Telemetry") -> None:
     register_macro_metrics(sim, telemetry.registry)
     if telemetry.events is not None:
         sim._ebus = telemetry.events
+        if telemetry.trace is not None:
+            sim._trace = telemetry.trace

@@ -64,6 +64,29 @@ def test_every_example_mentioned_in_readme_or_tested():
         assert example.name in readme or example.name in smoke, example.name
 
 
+def test_observability_event_table_matches_event_kinds():
+    """The docs' event table and the EventBus vocabulary stay in sync."""
+    from repro.telemetry.events import EVENT_KINDS
+
+    text = (DOCS / "OBSERVABILITY.md").read_text()
+    rows = re.findall(r"^\| `([a-z-]+)` \| (cycle|macro|both) \|", text,
+                      flags=re.MULTILINE)
+    documented = {kind for kind, _ in rows}
+    assert documented == EVENT_KINDS, (
+        f"undocumented kinds: {sorted(EVENT_KINDS - documented)}; "
+        f"stale docs rows: {sorted(documented - EVENT_KINDS)}")
+    assert len(rows) == len(documented), "duplicate event-table rows"
+
+
+def test_observability_documents_path_categories():
+    """The critical-path category vocabulary is spelled out in the docs."""
+    from repro.telemetry.trace import PATH_CATEGORIES
+
+    text = (DOCS / "OBSERVABILITY.md").read_text()
+    for category in PATH_CATEGORIES:
+        assert f"`{category}`" in text, category
+
+
 def test_bench_targets_in_design_exist():
     design = (ROOT / "DESIGN.md").read_text()
     for match in re.finditer(r"`benchmarks/(bench_[a-z0-9_]+\.py)`", design):

@@ -84,10 +84,14 @@ def test_timeline_trace(tmp_path):
     assert result.returncode == 0, result.stderr
     assert "hottest handlers" in result.stdout
     assert "NxtChar" in result.stdout
+    assert "critical path:" in result.stdout
+    assert "available parallelism:" in result.stdout
     trace_file = tmp_path / "lcs_trace.json"
     assert trace_file.exists()
     trace = json.loads(trace_file.read_text())
     assert trace["traceEvents"]
+    assert any(e.get("cat") == "flow" for e in trace["traceEvents"])
+    assert (tmp_path / "lcs_events.jsonl").exists()
 
 
 def test_assembly_showcase():

@@ -125,6 +125,51 @@ def test_telemetry_identical_reduction():
     assert fast[1] == slow[1]
 
 
+def _traced_run(experiment, fast):
+    """Run ``experiment(machine)`` with causal tracing on."""
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(trace=True)
+    machine = JMachine(MachineConfig(dims=(2, 2, 2), fast_path=fast),
+                       telemetry=telemetry)
+    experiment(machine)
+    return (machine.now, _machine_counters(machine),
+            list(telemetry.events.iter_dicts()))
+
+
+def test_traced_identical_ping():
+    """Causal tracing on: span allocation rides the (identical) send
+    order, so fast and reference paths emit the same traced stream."""
+    fast, slow = _both(
+        lambda f: _traced_run(
+            lambda m: run_ping(m, 0, 7, iterations=6), f))
+    assert fast == slow
+    assert any("span" in e for e in fast[2])
+
+
+def test_tracing_adds_only_span_fields():
+    """Zero-cost clause: a traced run's stream, with the span fields
+    stripped, is bit-identical to an untraced run — tracing perturbs no
+    timestamp, counter, or event ordering."""
+    from repro.telemetry import Telemetry
+
+    def run(trace):
+        telemetry = Telemetry(trace=trace)
+        machine = JMachine(MachineConfig(dims=(2, 2, 2)),
+                           telemetry=telemetry)
+        run_ping(machine, 0, 7, iterations=6)
+        return (machine.now, telemetry.registry.snapshot(),
+                list(telemetry.events.iter_dicts()))
+
+    off = run(False)
+    on = run(True)
+    assert all("span" not in e for e in off[2])
+    stripped = [{k: v for k, v in e.items()
+                 if k not in ("trace", "span", "parent", "cats")}
+                for e in on[2]]
+    assert (on[0], on[1], stripped) == off
+
+
 def test_report_identical_ping():
     from repro.telemetry import Telemetry
 
