@@ -1,7 +1,7 @@
 # Convenience targets for the J-Machine reproduction.
 
 .PHONY: install test bench perfsmoke telemetry-gate chaos-smoke \
-	trace-smoke check paper report examples clean
+	trace-smoke parallel-smoke check paper report examples clean
 
 install:
 	pip install -e .
@@ -41,9 +41,15 @@ chaos-smoke:
 trace-smoke:
 	PYTHONPATH=src python benchmarks/bench_critical_path.py --smoke
 
+# Parallel-backend smoke: a small LCS app and a compute-grid workload,
+# each run 2-sharded and asserted bit-identical to the serial loop
+# (docs/PERFORMANCE.md, "Parallel backend").
+parallel-smoke:
+	PYTHONPATH=src python benchmarks/bench_parallel_speedup.py --smoke
+
 # The full gate: correctness, throughput, telemetry overhead, chaos,
-# causal tracing.
-check: test telemetry-gate chaos-smoke trace-smoke
+# causal tracing, parallel determinism.
+check: test telemetry-gate chaos-smoke trace-smoke parallel-smoke
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:

@@ -11,6 +11,13 @@ first.  Each entry records the run's own pytest-benchmark timestamp,
 the commit it measured, and min/mean seconds per benchmark, so the
 throughput trend over the repo's history accumulates in-tree.
 
+A trajectory is only meaningful when each point can be attributed to a
+commit, so a dirty working tree (pytest-benchmark records this in
+``commit_info.dirty``) is refused by default: a measurement of
+uncommitted code would silently mix baselines.  Pass ``--allow-dirty``
+to append anyway; the entry is then marked ``"dirty": true`` so later
+readers can discount it.
+
 Usage (what the Makefile runs)::
 
     PYTHONPATH=src python benchmarks/append_trajectory.py \
@@ -26,8 +33,9 @@ import sys
 
 def summarize(data: dict) -> dict:
     """One compact trajectory entry for a pytest-benchmark payload."""
-    commit = (data.get("commit_info") or {}).get("id")
-    return {
+    info = data.get("commit_info") or {}
+    commit = info.get("id")
+    entry = {
         "datetime": data.get("datetime"),
         "commit": commit[:12] if isinstance(commit, str) else None,
         "benchmarks": {
@@ -38,11 +46,21 @@ def summarize(data: dict) -> dict:
             for bench in data.get("benchmarks", [])
         },
     }
+    if info.get("dirty"):
+        entry["dirty"] = True
+    return entry
 
 
-def merge(run_path: str, dest_path: str) -> int:
+def merge(run_path: str, dest_path: str, allow_dirty: bool = False) -> int:
     with open(run_path, "r", encoding="utf-8") as handle:
         run = json.load(handle)
+    if (run.get("commit_info") or {}).get("dirty") and not allow_dirty:
+        print("perf trajectory: REFUSING to append — the working tree "
+              "was dirty when this run was measured, so the point "
+              "cannot be attributed to a commit.  Commit (or stash) "
+              "first, or pass --allow-dirty to record it flagged.",
+              file=sys.stderr)
+        return 1
     trajectory = []
     if os.path.exists(dest_path):
         try:
@@ -64,10 +82,12 @@ def merge(run_path: str, dest_path: str) -> int:
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    allow_dirty = "--allow-dirty" in argv
+    argv = [arg for arg in argv if arg != "--allow-dirty"]
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    return merge(argv[0], argv[1])
+    return merge(argv[0], argv[1], allow_dirty=allow_dirty)
 
 
 if __name__ == "__main__":

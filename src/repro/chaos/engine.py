@@ -91,6 +91,18 @@ class ChaosEngine:
     # ------------------------------------------------------------ observation
 
     @property
+    def inert(self) -> bool:
+        """True when the plan can never inject anything (no specs).
+
+        The run loop treats an inert engine exactly like no engine:
+        chaos hooks gate fast-path run-ahead and quiet-window batching,
+        both of which reorder same-cycle event emissions, and the
+        determinism contract says an attached-but-empty plan must not
+        perturb the event stream.
+        """
+        return not self.plan.specs
+
+    @property
     def faults_injected(self) -> int:
         """Total faults of all kinds injected so far."""
         log_kinds = ("drops", "corruptions", "delays", "stalls", "kills",

@@ -51,7 +51,7 @@ from .errors import (
 from .isa import Imm, Instr, MemIdx, MemOff, Operand, Reg
 from .registers import ADDR_REG_NAMES, DATA_REG_NAMES, RegisterSet
 from .tags import Tag
-from .word import Word
+from .word import FALSE, TRUE, Word, _SMALL_INTS
 
 if TYPE_CHECKING:  # pragma: no cover
     from .processor import Mdp
@@ -271,13 +271,27 @@ def _compile_runner(proc: "Mdp", instr: Instr) -> Optional[Runner]:
 
     if op in _ALU_FUNCS:
         fn = _ALU_FUNCS[op]
-        out_tag = Tag.BOOL if op in _COMPARE else Tag.INT
         extra = _MULTICYCLE_ALU.get(op, 0)
         read1 = _make_reader(proc, ops[0], "use")
         read2 = _make_reader(proc, ops[1], "use")
         write = _make_writer(proc, ops[2])
         if read1 is None or read2 is None or write is None:
             return None
+
+        if op in _COMPARE:
+            # Comparisons only ever produce the two BOOL words; reuse
+            # the interned pair instead of allocating per execution.
+            def run_alu_cmp(regset: RegisterSet, vnow: int) -> int:
+                s1 = read1(regset)
+                s2 = read2(regset)
+                if s1.tag not in _NUMERIC_TAGS or s2.tag not in _NUMERIC_TAGS:
+                    raise TypeFault(
+                        f"{op} on non-numeric tags {s1.tag.name},{s2.tag.name}"
+                    )
+                write(regset, TRUE if fn(s1.value, s2.value) else FALSE)
+                return extra
+
+            return run_alu_cmp
 
         def run_alu(regset: RegisterSet, vnow: int) -> int:
             s1 = read1(regset)
@@ -286,7 +300,9 @@ def _compile_runner(proc: "Mdp", instr: Instr) -> Optional[Runner]:
                 raise TypeFault(
                     f"{op} on non-numeric tags {s1.tag.name},{s2.tag.name}"
                 )
-            write(regset, Word(out_tag, fn(s1.value, s2.value)))
+            value = fn(s1.value, s2.value)
+            word = _SMALL_INTS.get(value)
+            write(regset, word if word is not None else Word(Tag.INT, value))
             return extra
 
         return run_alu

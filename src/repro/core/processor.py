@@ -75,6 +75,11 @@ _VECTORS_WORDS = 16
 MSG_WINDOW_P0 = _VECTORS_WORDS
 MSG_WINDOW_P1 = MSG_WINDOW_P0 + MSG_WINDOW_WORDS
 
+#: Interned A3 message-window descriptors, keyed (window base, length).
+#: Both coordinates are drawn from a handful of values, and ADDR words
+#: are immutable, so dispatch can reuse them instead of repacking.
+_A3_SEGMENTS: Dict[tuple, "Word"] = {}
+
 #: First SRAM address available to loaded programs and data.
 USER_BASE = MSG_WINDOW_P1 + MSG_WINDOW_WORDS
 
@@ -533,6 +538,11 @@ class Mdp:
             thread = _Thread(Priority.BACKGROUND)
             self._current[Priority.BACKGROUND] = thread
         assert thread is not None
+        if self._events is None and probe is None:
+            self._active_priority = priority
+            self._suspended_by_fault = False
+            self._woke = False
+            return self._run_block_quiet(priority, thread, vnow, deadline)
         return self._run_block(priority, thread, vnow, deadline, probe)
 
     def _tick_reference(self, now: int) -> Optional[int]:
@@ -663,6 +673,83 @@ class Mdp:
                 break
         return vnow
 
+    def _run_block_quiet(
+        self,
+        priority: Priority,
+        thread: _Thread,
+        vnow: int,
+        deadline: Optional[int],
+    ) -> int:
+        """:meth:`_run_block` specialised for the dominant case: no event
+        bus attached and no ``until`` probe.  Semantics are identical —
+        same charge order, same fault handling — with the per-instruction
+        probe/event branches hoisted out of the loop.
+        """
+        regset = self.registers[priority]
+        decoded = self._decoded
+        decoded_get = decoded.get
+        code_get = self.code.get
+        counters = self.counters.__dict__
+        meter = self.memory.meter
+        current = self._current
+        end = deadline if deadline is not None else 0x7FFFFFFFFFFFFFFF
+        while vnow < end:
+            addr = regset.ip
+            dec = decoded_get(addr)
+            if dec is None:
+                instr = code_get(addr)
+                if instr is None:
+                    raise IllegalInstructionFault(
+                        f"node {self.node_id}: no instruction at {addr}"
+                    )
+                dec = compile_instr(self, addr, instr)
+                decoded[addr] = dec
+            runner, cat_key, base, boundary, writes = dec
+
+            if runner is None:
+                vnow += self._execute_one(priority, thread, vnow)
+                break
+
+            regset.ip = addr + 1
+            meter.cycles = 0  # discard any stale charge
+
+            try:
+                extra = runner(regset, vnow)
+            except SendFault as fault:
+                regset.ip = addr  # retry the send
+                meter.cycles = 0
+                self._current_instr_addr = addr
+                cost = self.fault_policy.on_send_fault(self, fault)
+                counters["stall_cycles"] += cost
+                vnow += cost
+                break
+            except CfutFault as fault:
+                self._current_instr_addr = addr
+                cost = self.fault_policy.on_cfut(self, fault_address(fault), fault)
+                counters["sync_cycles"] += cost
+                meter.cycles = 0
+                vnow += cost
+                break
+            except FutUseFault as fault:
+                self._current_instr_addr = addr
+                cost = self.fault_policy.on_fut_use(self, fault_address(fault), fault)
+                counters["sync_cycles"] += cost
+                meter.cycles = 0
+                vnow += cost
+                break
+
+            mem_cycles = meter.cycles
+            meter.cycles = 0
+            cost = base + extra + mem_cycles
+            counters["instructions"] += 1
+            counters[cat_key] += cost
+            vnow += cost
+
+            if boundary or self._woke or current[priority] is None:
+                self._woke = False
+                break
+        return vnow
+
     def _do_dispatch(self, priority: Priority, now: int) -> int:
         """Hardware dispatch: 4 cycles from queue head to runnable thread."""
         queue = self.queues[priority]
@@ -674,11 +761,16 @@ class Mdp:
             self.memory.poke(window + i, word)
         regset = self.registers[priority]
         regset.ip = message.handler_ip
-        regset.write("A3", Word.segment(window, min(message.length, MSG_WINDOW_WORDS)))
+        seg_key = (window, min(len(message.words), MSG_WINDOW_WORDS))
+        seg = _A3_SEGMENTS.get(seg_key)
+        if seg is None:
+            seg = _A3_SEGMENTS[seg_key] = Word.segment(*seg_key)
+        regset.write("A3", seg)
         self._current[priority] = _Thread(priority, message=message,
                                           trace=message.trace)
-        self.counters.dispatches += 1
-        self._charge("dispatch", self.costs.dispatch)
+        counters = self.counters
+        counters.dispatches += 1
+        counters.dispatch_cycles += self.costs.dispatch
         if self._events is not None:
             t = message.trace
             if t is None:

@@ -58,8 +58,13 @@ class Word:
     __slots__ = ("tag", "value")
 
     def __init__(self, tag: Tag, value: int = 0) -> None:
-        object.__setattr__(self, "tag", Tag(tag))
-        object.__setattr__(self, "value", _to_signed32(int(value)))
+        if type(tag) is not Tag:
+            tag = Tag(tag)
+        value = int(value) & _MASK32
+        if value > _INT_MAX:
+            value -= 1 << 32
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "value", value)
 
     # -- immutability -----------------------------------------------------
 
@@ -69,11 +74,24 @@ class Word:
     def __delattr__(self, name: str) -> None:
         raise AttributeError("Word is immutable")
 
+    def __reduce__(self):
+        # Default slot-state unpickling would go through __setattr__ and
+        # hit the immutability guard; rebuild through the constructor.
+        return (Word, (self.tag, self.value))
+
     # -- constructors -----------------------------------------------------
 
     @staticmethod
     def from_int(value: int) -> "Word":
-        """An ``INT``-tagged word."""
+        """An ``INT``-tagged word.
+
+        Small values come from an interning cache: words are immutable
+        and compare by (tag, value), so sharing them is unobservable,
+        and the hot ALU/counter paths allocate mostly small ints.
+        """
+        cached = _SMALL_INTS.get(value)
+        if cached is not None:
+            return cached
         return Word(Tag.INT, value)
 
     @staticmethod
@@ -183,6 +201,9 @@ class Word:
             return f"Word.msg({node}, {hint})"
         return f"Word({self.tag.name}, {self.value})"
 
+
+#: Interned INT words for the small values the hot paths churn through.
+_SMALL_INTS = {v: Word(Tag.INT, v) for v in range(-256, 1025)}
 
 #: Conventional "no value" word: an INT zero.  Registers reset to NIL.
 NIL = Word(Tag.INT, 0)

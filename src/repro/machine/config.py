@@ -50,6 +50,11 @@ class MachineConfig:
     #: faster).  Disable to run the per-instruction reference
     #: interpreter instead; results are identical either way.
     fast_path: bool = True
+    #: Shard the node grid across this many worker processes advancing
+    #: in conservative lockstep epochs (see :mod:`repro.parallel`).
+    #: 0/1 = serial.  Runs the protocol cannot reproduce bit-exactly
+    #: fall back to the serial loop automatically.
+    parallel_shards: int = 0
 
     def __post_init__(self) -> None:
         if any(d <= 0 for d in self.dims):

@@ -56,7 +56,13 @@ class JMachine:
         ]
         self.now = 0
         self._proc_heap: List[Tuple[int, int]] = []  # (time, node_id)
-        self._delivery_heap: List[Tuple[int, int, int]] = []  # (time, seq, idx)
+        #: (time, node_id, idx): the node tie-break keeps same-cycle
+        #: commit order across nodes independent of fabric-internal
+        #: completion processing order (the batched fabric advance may
+        #: discover same-cycle completions in a different sequence than
+        #: per-cycle stepping); per-node order stays delivery order
+        #: via idx.
+        self._delivery_heap: List[Tuple[int, int, int]] = []
         self._staged_messages: List[Optional[Message]] = []
         self._staged_words_per_node: List[int] = [0] * self.mesh.n_nodes
         self._seq = 0
@@ -75,6 +81,14 @@ class JMachine:
         #: installed by the wiring when ``Telemetry(trace=True)``; host
         #: injections then root a fresh trace.
         self._trace_state = None
+        #: Worker-process count for the sharded parallel backend
+        #: (:mod:`repro.parallel`); 0/1 keeps every run on the serial
+        #: loop.  Mutable per-machine so one instance can be compared
+        #: against itself.
+        self.parallel_shards = self.config.parallel_shards
+        #: Why the last run stayed serial despite ``parallel_shards``
+        #: (set by :func:`repro.parallel.machine.run_parallel`).
+        self._parallel_skip_reason: Optional[str] = None
         #: Attached telemetry rig (see :mod:`repro.telemetry`), or None.
         self.telemetry = telemetry
         if telemetry is not None:
@@ -139,8 +153,8 @@ class JMachine:
         """Stage a delivered message until its arrival cycle is reached."""
         index = len(self._staged_messages)
         self._staged_messages.append(message)
-        self._staged_words_per_node[node_id] += message.length
-        heapq.heappush(self._delivery_heap, (arrival, index, node_id))
+        self._staged_words_per_node[node_id] += len(message.words)
+        heapq.heappush(self._delivery_heap, (arrival, node_id, index))
 
     def _injection_finished(self, message: Message) -> None:
         self.nodes[message.source].interface.injection_finished(message)
@@ -157,10 +171,10 @@ class JMachine:
     def _commit_deliveries(self) -> None:
         chaos = self.chaos
         while self._delivery_heap and self._delivery_heap[0][0] <= self.now:
-            _, index, node_id = heapq.heappop(self._delivery_heap)
+            _, node_id, index = heapq.heappop(self._delivery_heap)
             message = self._staged_messages[index]
             self._staged_messages[index] = None
-            self._staged_words_per_node[node_id] -= message.length
+            self._staged_words_per_node[node_id] -= len(message.words)
             self.deliveries_committed += 1
             if chaos is not None:
                 if chaos.node_killed(node_id, self.now):
@@ -189,11 +203,14 @@ class JMachine:
         self,
         limit: Optional[int] = None,
         probe: Optional[Callable[[int], bool]] = None,
+        inj_bound: Optional[int] = None,
     ) -> None:
         now = self.now
         heap = self._proc_heap
         fabric = self.fabric
         chaos = self.chaos
+        have_deadlines = False
+        deadline_idle = deadline_busy = None
         while heap and heap[0][0] <= now:
             when, node_id = heapq.heappop(heap)
             node = self.nodes[node_id]
@@ -210,10 +227,23 @@ class JMachine:
             proc = node.proc
             if proc.fast_path:
                 # fabric.active re-read per pop: an earlier block in this
-                # same pass may have launched a worm.
-                nxt = proc.tick(
-                    now, self._block_deadline(limit, probe, fabric.active), probe
-                )
+                # same pass may have launched a worm.  The two possible
+                # deadlines are pass-constant when no probe is active
+                # (deliveries only commit between passes), so compute
+                # them once and pick per pop.
+                if probe is None:
+                    if not have_deadlines:
+                        have_deadlines = True
+                        deadline_idle = self._block_deadline(
+                            limit, None, False, inj_bound)
+                        deadline_busy = self._block_deadline(
+                            limit, None, True, inj_bound)
+                    deadline = (deadline_busy if fabric.active
+                                else deadline_idle)
+                else:
+                    deadline = self._block_deadline(
+                        limit, probe, fabric.active, inj_bound)
+                nxt = proc.tick(now, deadline, probe)
             else:
                 nxt = proc.tick(now)
             if nxt is not None:
@@ -224,35 +254,70 @@ class JMachine:
         limit: Optional[int],
         probe: Optional[Callable[[int], bool]],
         fabric_busy: bool,
+        inj_bound: Optional[int] = None,
     ) -> Optional[int]:
         """How far a fast-path block may run ahead of the global clock.
 
         The bound keeps run-ahead invisible: a block may only batch
         through virtual time the rest of the machine is guaranteed not to
-        touch.  While the fabric has worms in flight it can free send
-        buffers or complete deliveries any cycle, so blocks collapse to
-        the reference's one-step-per-pass; otherwise the next staged
-        delivery commit bounds the block.  When an ``until`` predicate is
-        active (``probe`` set), blocks are additionally capped at the
-        next pending processor's tick time, which keeps *all* execution
-        ordered by virtual time so the predicate observes exact state.
+        touch.  A block observes the fabric at exactly two kinds of
+        cycles, both bounded from below even while worms are in flight:
+
+        * *Delivery commits* (queue state, preemption): the earliest is
+          the staged-delivery heap head, and any completion still in the
+          mesh cannot commit before ``now + 1 + eject_latency``.
+        * *Send-buffer releases* (``injection_finished``, observed by the
+          block-ending ``SEND``): the fabric's per-iteration
+          ``injection_quiet_cycles`` bound — a worm with *r* phits left
+          to inject cannot free its source's buffer for at least *r*
+          cycles.  Worms launched later in the same pass only ever
+          affect their own source node, whose block has already ended
+          (sends are block boundaries), so the bound computed at
+          iteration start stays valid for every pop of the pass.
+
+        When fault injection is armed, chaos hooks may perturb any
+        cycle, so blocks collapse to the reference's one-step-per-pass.
+        When an ``until`` predicate is active (``probe`` set), blocks are
+        additionally capped at the next pending processor's tick time,
+        which keeps *all* execution ordered by virtual time so the
+        predicate observes exact state.
         """
-        if fabric_busy:
-            return self.now + 1
+        now = self.now
+        chaos = self.chaos
+        if fabric_busy and chaos is not None and not chaos.inert:
+            return now + 1
         deadline = limit
         if self._delivery_heap:
             commit = self._delivery_heap[0][0]
             if deadline is None or commit < deadline:
                 deadline = commit
+        if fabric_busy:
+            horizon = now + 1 + self.fabric.eject_latency
+            if inj_bound is not None and now + inj_bound < horizon:
+                horizon = now + inj_bound
+            if horizon < now + 1:
+                horizon = now + 1
+            if deadline is None or horizon < deadline:
+                deadline = horizon
         if probe is not None and self._proc_heap:
             peer = self._proc_heap[0][0]
-            if peer <= self.now:
-                peer = self.now + 1
+            if peer <= now:
+                peer = now + 1
             if deadline is None or peer < deadline:
                 deadline = peer
         return deadline
 
     # ------------------------------------------------------------------- run
+
+    @property
+    def parallel_skip_reason(self) -> Optional[str]:
+        """Why the last ``run`` stayed serial despite ``parallel_shards``.
+
+        ``None`` after a run the parallel backend completed (or when it
+        was never requested); otherwise a short sentence such as
+        ``"run(until=...) observes global state every cycle"``.
+        """
+        return self._parallel_skip_reason
 
     def run(
         self,
@@ -269,8 +334,39 @@ class JMachine:
         of the run (an illegal instruction, a queue overflow surfaced to
         the host), end-of-run bookkeeping — the telemetry ``run-end``
         event — still happens, so a partial trace is still loadable.
+
+        When :attr:`parallel_shards` requests it (and no ``until``
+        predicate demands per-cycle observation), the run is first
+        attempted on the sharded parallel backend; any run the epoch
+        protocol cannot reproduce bit-exactly falls back to the serial
+        loop on the untouched machine (see :mod:`repro.parallel`).
         """
         limit = self.now + max_cycles
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.reset(self.now)
+        try:
+            if self.parallel_shards and self.parallel_shards > 1:
+                if until is not None:
+                    self._parallel_skip_reason = (
+                        "run(until=...) predicates observe global state "
+                        "every cycle")
+                else:
+                    from ..parallel.machine import run_parallel
+
+                    result = run_parallel(self, limit)
+                    if result is not None:
+                        return result
+            return self._run_serial(limit, until)
+        finally:
+            self._run_ended()
+
+    def _run_serial(
+        self,
+        limit: int,
+        until: Optional[Callable[["JMachine"], bool]] = None,
+    ) -> int:
+        """The reference single-process run loop (see :meth:`run`)."""
         probe: Optional[Callable[[int], bool]] = None
         fired: List[Optional[int]] = [None]
         if until is not None:
@@ -286,46 +382,66 @@ class JMachine:
                 return False
 
         chaos = self.chaos
+        if chaos is not None and chaos.inert:
+            # An attached-but-empty plan must not perturb the event
+            # stream: its hooks are all no-ops, so let the loop batch
+            # and run ahead exactly as if no engine were attached.
+            chaos = None
         watchdog = self.watchdog
-        if watchdog is not None:
-            watchdog.reset(self.now)
-        try:
-            while self.now < limit:
-                if chaos is not None:
-                    chaos.machine_tick(self, self.now)
-                self._commit_deliveries()
-                if self.fabric.active:
-                    self.fabric.step(self.now)
-                self._tick_procs(limit, probe)
-                if watchdog is not None:
-                    watchdog.poll(self, self.now)
-                if until is not None:
-                    fired_at = fired[0]
-                    if fired_at is not None and fired_at > self.now:
-                        # The predicate flipped inside a batched block, at
-                        # a virtual time this pass had not reached yet.
-                        # All other work is scheduled strictly later (the
-                        # block deadline guarantees it), so the machine
-                        # state *is* the reference state at that cycle.
-                        self.now = fired_at
-                        return self.now
-                    if until(self):
-                        return self.now
-                    fired[0] = None
-                if self.fabric.active:
-                    self.now += 1
-                    continue
-                next_times = []
-                if self._proc_heap:
-                    next_times.append(self._proc_heap[0][0])
-                if self._delivery_heap:
-                    next_times.append(self._delivery_heap[0][0])
-                if not next_times:
-                    return self.now  # quiescent
-                self.now = max(self.now + 1, min(next_times))
-            return self.now
-        finally:
-            self._run_ended()
+        fabric = self.fabric
+        # Quiet-window batching: while nothing but the fabric has
+        # work scheduled, hand it a whole window of cycles at once
+        # (see Fabric.advance).  Gated off whenever any per-cycle
+        # observer is installed, which keeps those paths on the
+        # exact reference interleaving.
+        batchable = until is None and watchdog is None
+        while self.now < limit:
+            if chaos is not None:
+                chaos.machine_tick(self, self.now)
+            self._commit_deliveries()
+            inj_bound = None
+            if fabric.active:
+                if batchable and chaos is None and fabric.can_batch():
+                    horizon = limit
+                    heap = self._delivery_heap
+                    if heap and heap[0][0] < horizon:
+                        horizon = heap[0][0]
+                    heap = self._proc_heap
+                    if heap and heap[0][0] < horizon:
+                        horizon = heap[0][0]
+                    if horizon > self.now + 1:
+                        self.now = fabric.advance(self.now, horizon)
+                        continue
+                fabric.step(self.now)
+                inj_bound = fabric.injection_quiet_cycles()
+            self._tick_procs(limit, probe, inj_bound)
+            if watchdog is not None:
+                watchdog.poll(self, self.now)
+            if until is not None:
+                fired_at = fired[0]
+                if fired_at is not None and fired_at > self.now:
+                    # The predicate flipped inside a batched block, at
+                    # a virtual time this pass had not reached yet.
+                    # All other work is scheduled strictly later (the
+                    # block deadline guarantees it), so the machine
+                    # state *is* the reference state at that cycle.
+                    self.now = fired_at
+                    return self.now
+                if until(self):
+                    return self.now
+                fired[0] = None
+            if self.fabric.active:
+                self.now += 1
+                continue
+            next_times = []
+            if self._proc_heap:
+                next_times.append(self._proc_heap[0][0])
+            if self._delivery_heap:
+                next_times.append(self._delivery_heap[0][0])
+            if not next_times:
+                return self.now  # quiescent
+            self.now = max(self.now + 1, min(next_times))
+        return self.now
 
     def _run_ended(self) -> None:
         """End-of-run hook (normal return or raise): telemetry run-end."""

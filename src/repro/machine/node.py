@@ -57,15 +57,17 @@ class NodeNetworkInterface(NetworkInterface):
     # -- buffer accounting (freed when the fabric finishes injecting) -------
 
     def _used_words(self) -> int:
-        partial = sum(len(words) for words in self._building.values())
-        return self._outstanding_words + partial
+        building = self._building
+        return (self._outstanding_words
+                + len(building[Priority.P0])
+                + len(building[Priority.P1]))
 
     def can_accept(self, priority: Priority, nwords: int) -> bool:
         return self._used_words() + nwords <= self.capacity_words
 
     def injection_finished(self, message: Message) -> None:
         """Fabric callback: the worm's tail has left this interface."""
-        self._outstanding_words -= message.length + 1  # +1 for the dest word
+        self._outstanding_words -= len(message.words) + 1  # +1 dest word
 
     # -- the SEND contract ----------------------------------------------------
 

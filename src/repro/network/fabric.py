@@ -35,7 +35,9 @@ Modelling choices, and why they preserve the paper's behaviour:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
+from operator import attrgetter
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.costs import CostModel, DEFAULT_COSTS
@@ -45,6 +47,7 @@ from ..core.registers import Priority
 from .routing import ChannelKey, INJECT, route
 from .stats import NetworkStats
 from .topology import Mesh3D
+from .vectorize import HAVE_NUMPY, SoloLanes
 
 __all__ = ["Fabric", "Worm", "BUFFER_PHITS", "FRAMING_PHITS"]
 
@@ -73,7 +76,7 @@ class Worm:
     __slots__ = (
         "message", "path", "keys", "hops", "total_phits", "head", "released",
         "injected", "delivered", "reserved", "submit_time", "launch_time",
-        "seq", "block_cycles", "crosses_bisection", "done",
+        "seq", "block_cycles", "crosses_bisection", "done", "pri", "akey",
     )
 
     def __init__(
@@ -104,6 +107,12 @@ class Worm:
         self.block_cycles = 0
         self.crosses_bisection = crosses_bisection
         self.done = False
+        #: Cached ``int(message.priority)`` (hot in arbitration).
+        self.pri = int(message.priority)
+        #: Cached fixed-arbitration sort key ``(-pri, through, seq)``;
+        #: the through flag flips to 0 when the head leaves the
+        #: injection port (see :meth:`Fabric.step`).
+        self.akey = (-self.pri, 1, seq)
 
 
 class Fabric:
@@ -145,7 +154,10 @@ class Fabric:
         self._owner: Dict[Tuple[int, int, int, int], Worm] = {}
         self._active: List[Worm] = []
         self._pending: Dict[Tuple[int, int], Deque[Worm]] = {}
-        self._staged: List[Tuple[int, Worm]] = []  # (release_time, worm)
+        self._pending_count = 0
+        #: Heap of (release_time, seq, worm); seq keeps same-cycle
+        #: releases in submission order, matching the old list scan.
+        self._staged: List[Tuple[int, int, Worm]] = []
         #: (source, dest, pclass) -> (path, keys, hops, crosses): the
         #: route is a pure function of the pair, so recomputing it per
         #: message is wasted work on all-to-all traffic.
@@ -154,7 +166,16 @@ class Fabric:
             Tuple[Tuple[ChannelKey, ...], Tuple[Tuple[int, int, int, int], ...],
                   int, bool],
         ] = {}
+        #: Bound + traffic counters for the per-pair route cache
+        #: (exported as ``net.route_cache.*`` by the telemetry wiring).
+        self.route_cache_max = 1 << 17
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
         self._seq = 0
+        #: Worm-population threshold above which the batched advance
+        #: switches from the per-worm Python loop to the numpy lanes
+        #: (see repro.network.vectorize); ignored without numpy.
+        self.vector_threshold = 24 if HAVE_NUMPY else None
         self.stats = NetworkStats(mesh)
         #: Optional callback fired once per worm when its tail has fully
         #: left the sending interface (frees the node's send buffer).
@@ -187,7 +208,7 @@ class Fabric:
         """
         worm = self._make_worm(message, now)
         # Model the send-interface pipeline as a staging delay.
-        self._staged.append((now + self.inject_latency, worm))
+        heapq.heappush(self._staged, (now + self.inject_latency, worm.seq, worm))
         self.stats.submitted += 1
         if self._events is not None:
             t = message.trace
@@ -208,16 +229,19 @@ class Fabric:
         cache_key = (message.source, message.dest, pclass)
         entry = self._route_cache.get(cache_key)
         if entry is None:
+            self.route_cache_misses += 1
             path = route(self.mesh, message.source, message.dest)
             keys = tuple(
                 (node, dim, direction, pclass)
                 for (node, dim, direction) in path
             )
             crosses = self.mesh.crosses_x_midplane(message.source, message.dest)
-            if len(self._route_cache) >= (1 << 17):
+            if len(self._route_cache) >= self.route_cache_max:
                 self._route_cache.clear()  # bounded even on huge meshes
             entry = (path, keys, len(path) - 2, crosses)
             self._route_cache[cache_key] = entry
+        else:
+            self.route_cache_hits += 1
         path, keys, hops, crosses = entry
         total_phits = self.costs.phits_per_word * message.length + FRAMING_PHITS
         worm = Worm(message, path, keys, hops, total_phits, crosses, self._seq)
@@ -230,42 +254,76 @@ class Fabric:
     @property
     def active(self) -> bool:
         """True while any worm is staged, pending, or in the mesh."""
-        return bool(self._active or self._staged or any(self._pending.values()))
+        return bool(self._active or self._staged or self._pending_count)
 
     @property
     def worms_in_flight(self) -> int:
         return len(self._active)
 
+    def injection_quiet_cycles(self) -> Optional[int]:
+        """A lower bound on cycles until any ``on_injected`` callback.
+
+        A worm with ``r`` phits left to inject streams at most one phit
+        per cycle, so its source's send buffer cannot be freed for at
+        least ``r`` more cycles; staged and pending worms have their
+        whole payload ahead of them.  Returns None when every worm has
+        fully injected (no release can ever fire from current traffic).
+        The machine uses this to let fast-path blocks run ahead while
+        the fabric is busy.
+        """
+        best: Optional[int] = None
+        for worm in self._active:
+            remaining = worm.total_phits - worm.injected
+            if remaining > 0 and (best is None or remaining < best):
+                best = remaining
+        for queue in self._pending.values():
+            for worm in queue:
+                if best is None or worm.total_phits < best:
+                    best = worm.total_phits
+        for _, _, worm in self._staged:
+            if best is None or worm.total_phits < best:
+                best = worm.total_phits
+        return best
+
     # ------------------------------------------------------------------ step
 
-    def step(self, now: int) -> None:
-        """Advance every worm by one cycle of network time."""
-        if self._staged:
-            still_staged = []
-            for release_time, worm in self._staged:
-                if release_time <= now:
-                    queue_key = (worm.message.source, int(worm.message.priority))
-                    self._pending.setdefault(queue_key, deque()).append(worm)
-                else:
-                    still_staged.append((release_time, worm))
-            self._staged = still_staged
+    def _release_staged(self, now: int) -> None:
+        """Move staged worms whose release time has come into the
+        per-(source, priority) pending queues, in submission order."""
+        staged = self._staged
+        while staged and staged[0][0] <= now:
+            _, _, worm = heapq.heappop(staged)
+            queue_key = (worm.message.source, worm.pri)
+            queue = self._pending.get(queue_key)
+            if queue is None:
+                queue = self._pending[queue_key] = deque()
+            queue.append(worm)
+            self._pending_count += 1
 
-        # Activate queue fronts whose injection port is free.
-        for queue_key, queue in self._pending.items():
-            if not queue:
-                continue
+    def _activate_pending(self, now: int) -> None:
+        """Activate queue fronts whose injection port is free.
+
+        Each (source, priority) queue contends only for its own
+        injection port, so scan order across queues is immaterial;
+        empty queues are pruned so the scan stays proportional to the
+        number of *waiting* worms, not of sources ever seen.
+        """
+        owner = self._owner
+        for queue_key in [k for k, q in self._pending.items() if q]:
+            queue = self._pending[queue_key]
             worm = queue[0]
             port = worm.keys[0]
-            if self._owner.get(port) is None:
-                self._owner[port] = worm
+            if owner.get(port) is None:
+                owner[port] = worm
                 worm.head = 0
                 worm.launch_time = now
                 queue.popleft()
+                self._pending_count -= 1
                 self._active.append(worm)
+            if not queue:
+                del self._pending[queue_key]
 
-        if not self._active:
-            return
-
+    def _sort_active(self, now: int) -> None:
         # Priority-1 worms are stepped (and hence arbitrate) first.
         # Within a class, "fixed" arbitration models the MDP router's
         # fixed input-port priority: worms already in the mesh (through
@@ -275,16 +333,22 @@ class Fabric:
         # rotates precedence across source nodes each cycle — the fair
         # alternative.
         if self.arbitration == "fixed":
-            self._active.sort(
-                key=lambda w: (-int(w.message.priority),
-                               0 if w.head > 0 else 1, w.seq)
-            )
+            self._active.sort(key=attrgetter("akey"))
         else:
             n = self.mesh.n_nodes
             self._active.sort(
-                key=lambda w: (-int(w.message.priority),
-                               (w.message.source - now) % n, w.seq)
+                key=lambda w: (-w.pri, (w.message.source - now) % n, w.seq)
             )
+
+    def step(self, now: int) -> None:
+        """Advance every worm by one cycle of network time."""
+        if self._staged and self._staged[0][0] <= now:
+            self._release_staged(now)
+        if self._pending_count:
+            self._activate_pending(now)
+        if not self._active:
+            return
+        self._sort_active(now)
         finished = False
         moved_any = False
         for worm in self._active:
@@ -320,6 +384,10 @@ class Fabric:
             else:
                 self._owner[key] = worm
                 worm.head += 1
+                if worm.head == 1:
+                    # Left the injection port: now "through traffic",
+                    # which fixed arbitration favours.
+                    worm.akey = (-worm.pri, 0, worm.seq)
                 moved = True
 
         # 2. Delivery: once the ejection port is held, stream phits out.
@@ -367,6 +435,181 @@ class Fabric:
                 worm.released += 1
         return False
 
+    # ------------------------------------------------------------- batching
+
+    def can_batch(self) -> bool:
+        """May :meth:`advance` replace per-cycle :meth:`step` calls?
+
+        Batch eligibility is conservative: any feature whose per-cycle
+        hooks observe or perturb the cycle-by-cycle interleaving (fault
+        injection, the stagnation watchdog, return-to-sender bounces)
+        keeps the fabric on the exact reference path.
+        """
+        return ((self.chaos is None or self.chaos.inert)
+                and self.watchdog_cycles == 0
+                and self.flow_control == "block")
+
+    def advance(self, now: int, horizon: int) -> int:
+        """Simulate cycles ``[now, end)`` in one call; returns ``end``.
+
+        The caller (the machine's run loop) guarantees a *quiet window*:
+        no new sends, no delivery commits, and no processor activity can
+        occur before ``horizon``, and ``accept_fn`` is a pure function of
+        state that cannot change inside the window.  Under those
+        conditions this method is cycle-exact with ``step(now) ..
+        step(end - 1)``: identical worm state, owner map, statistics,
+        and callback timing.
+
+        Worms are split into a *conflict pool* — any worm sharing a
+        channel key with another active, pending, or staged worm — and a
+        *solo* rest.  Conflict worms go through :meth:`_step_worm`
+        per cycle in exact arbitration order; solo worms advance on
+        integer lanes (numpy above :attr:`vector_threshold`), touching
+        the owner map only on entry/exit of the batch.  The window ends
+        early when a completion schedules a delivery commit the machine
+        must observe (``completion + eject_latency``).
+        """
+        # ---- conflict partition over every worm that could touch a channel
+        seen: Dict[Tuple[int, int, int, int], Worm] = {}
+        conflicted = set()
+
+        def scan(worm: Worm) -> None:
+            for key in worm.keys:
+                other = seen.get(key)
+                if other is None:
+                    seen[key] = worm
+                else:
+                    conflicted.add(other.seq)
+                    conflicted.add(worm.seq)
+
+        for w in self._active:
+            scan(w)
+        for q in self._pending.values():
+            for w in q:
+                scan(w)
+        for _, _, w in self._staged:
+            scan(w)
+        pool = [w for w in self._active if w.seq in conflicted]
+        solo = [w for w in self._active if w.seq not in conflicted]
+        lanes = None
+        if solo:
+            accept_fn = self.accept_fn
+
+            def probe(worm: Worm) -> bool:
+                message = worm.message
+                return accept_fn(message.dest, message)
+
+            use_numpy = (self.vector_threshold is not None
+                         and len(solo) >= self.vector_threshold)
+            lanes = SoloLanes(solo, BUFFER_PHITS, probe, use_numpy)
+
+        staged = self._staged
+        stats = self.stats
+        eject = self.eject_latency
+        on_injected = self.on_injected
+        owner = self._owner
+        any_finished = False
+        end = horizon
+        c = now
+        while c < end:
+            if staged and staged[0][0] <= c:
+                self._release_staged(c)
+            if self._pending_count:
+                before = len(self._active)
+                self._activate_pending(c)
+                # Fresh worms join the conflict pool: the partition
+                # already proved they cannot touch a solo worm (pending
+                # and staged footprints were scanned above).
+                pool.extend(self._active[before:])
+            if pool:
+                if len(pool) > 1:
+                    if self.arbitration == "fixed":
+                        pool.sort(key=attrgetter("akey"))
+                    else:
+                        n = self.mesh.n_nodes
+                        cyc = c
+                        pool.sort(key=lambda w: (
+                            -w.pri, (w.message.source - cyc) % n, w.seq))
+                finished_here = False
+                for w in pool:
+                    if self._step_worm(w, c):
+                        finished_here = True
+                        any_finished = True
+                        arrival = c + eject
+                        if arrival < end:
+                            end = arrival
+                if finished_here:
+                    pool = [w for w in pool if not w.done]
+            if lanes is not None and lanes.n_alive:
+                completed, inj_done, stalls = lanes.cycle()
+                if stalls:
+                    stats.delivery_stall_cycles += stalls
+                if inj_done is not None:
+                    for j in inj_done:
+                        message = lanes.worm(j).message
+                        if (on_injected is not None
+                                and message.bounce_of is None
+                                and not message.injection_reported):
+                            message.injection_reported = True
+                            on_injected(message)
+                if completed is not None:
+                    any_finished = True
+                    for j in completed:
+                        self._finish_solo(lanes.worm(j), c)
+                    arrival = c + eject
+                    if arrival < end:
+                        end = arrival
+            c += 1
+            if (not pool and (lanes is None or not lanes.n_alive)
+                    and not staged and not self._pending_count):
+                break  # the fabric drained inside the window
+
+        # Write live solo lanes back and reconcile the owner map: the
+        # net effect of the skipped acquisitions/releases is that each
+        # worm owns exactly keys[released : head + 1].
+        if lanes is not None:
+            for w, nh, nr, ni, nd, nres in lanes.alive_states():
+                keys = w.keys
+                for idx in range(w.head + 1, nh + 1):
+                    owner[keys[idx]] = w
+                for idx in range(w.released, nr):
+                    key = keys[idx]
+                    if owner.get(key) is w:
+                        del owner[key]
+                if nh > 0 and w.head == 0:
+                    w.akey = (-w.pri, 0, w.seq)
+                w.head = nh
+                w.released = nr
+                w.injected = ni
+                w.delivered = nd
+                w.reserved = nres
+        if any_finished:
+            self._active = [w for w in self._active if not w.done]
+        return c
+
+    def _finish_solo(self, worm: Worm, now: int) -> None:
+        """Deferred :meth:`_complete` for a solo-lane worm (no chaos,
+        block flow control): free its owner entries and hand it over."""
+        owner = self._owner
+        for key in worm.keys:
+            if owner.get(key) is worm:
+                del owner[key]
+        worm.released = len(worm.keys)
+        worm.head = len(worm.path) - 1
+        worm.injected = worm.delivered = worm.total_phits
+        worm.reserved = True
+        worm.done = True
+        arrival = now + self.eject_latency
+        worm.message.arrive_time = arrival
+        if self.track_channel_load:
+            for channel in worm.path:
+                if channel[1] < INJECT:  # mesh channels only
+                    self.channel_phits[channel] = (
+                        self.channel_phits.get(channel, 0) + worm.total_phits
+                    )
+        self.deliver_fn(worm.message.dest, worm.message, arrival)
+        self.stats.record_completion(worm, arrival)
+
     def _release(self, worm: Worm, index: int) -> None:
         key = worm.keys[index]
         if self._owner.get(key) is worm:
@@ -384,7 +627,9 @@ class Fabric:
             # A returned message reached its sender: retry the original
             # after the interface re-processes it.
             retry_worm = self._make_worm(original, now)
-            self._staged.append((arrival + self.inject_latency, retry_worm))
+            heapq.heappush(self._staged,
+                           (arrival + self.inject_latency, retry_worm.seq,
+                            retry_worm))
             return
         if self.chaos is not None:
             verdict = self.chaos.fabric_verdict(worm.message, now)
@@ -422,7 +667,7 @@ class Fabric:
         returned.trace = original.trace  # one span covers the round trip
         returned.inject_time = now
         bounce_worm = self._make_worm(returned, now)
-        self._staged.append((now + 1, bounce_worm))
+        heapq.heappush(self._staged, (now + 1, bounce_worm.seq, bounce_worm))
 
     def _raise_stagnation(self, now: int) -> None:
         """Watchdog trip: describe every stuck worm and fail loudly."""

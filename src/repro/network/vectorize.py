@@ -1,0 +1,245 @@
+"""Vectorized lanes for conflict-free worms in the flit fabric.
+
+:meth:`repro.network.fabric.Fabric.advance` partitions in-flight worms
+into a *conflict pool* (worms sharing at least one virtual channel with
+another worm, stepped one-by-one through the exact arbitration path) and
+a *solo* set whose channel footprints are disjoint from every other
+worm's.  A solo worm's per-cycle evolution never consults the channel
+owner map — its head always advances, nothing ever blocks on it — so the
+whole solo population can be advanced with pure integer arithmetic over
+parallel state lanes: head position, released tail, injected and
+delivered phit counts.
+
+Two interchangeable backends implement the same cycle-exact update:
+
+* :class:`PyLanes` — flat Python lists, one short loop per worm per
+  cycle.  Fastest for the small populations typical of runtime apps,
+  and the only backend when numpy is unavailable.
+* :class:`NumpyLanes` — one int64 array per state field; each simulated
+  cycle is a fixed sequence of whole-array operations, so cost per cycle
+  is (nearly) independent of population size.  Selected automatically
+  above :attr:`Fabric.vector_threshold` worms.
+
+Both backends must produce bit-identical worm state; the equivalence
+tests drive them against each other and against the per-cycle reference
+:meth:`Fabric.step`.
+
+numpy is an optional dependency: this module imports without it
+(``HAVE_NUMPY`` is False and only :class:`PyLanes` is offered), so the
+package — and the tier-1 suite — works on a pure-Python install.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy-less installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+__all__ = ["HAVE_NUMPY", "SoloLanes", "PyLanes", "NumpyLanes"]
+
+#: accept(worm) -> bool: may the destination take this message now?
+AcceptProbe = Callable[[object], bool]
+
+
+class PyLanes:
+    """Pure-Python solo lanes: parallel lists of ints, loop per worm."""
+
+    def __init__(self, worms: List, buffer_phits: int,
+                 accept: AcceptProbe) -> None:
+        self.worms = worms
+        self.buffer = buffer_phits
+        self.accept = accept
+        self.h = [w.head for w in worms]
+        self.r = [w.released for w in worms]
+        self.inj = [w.injected for w in worms]
+        self.dlv = [w.delivered for w in worms]
+        self.tot = [w.total_phits for w in worms]
+        self.last = [len(w.path) - 1 for w in worms]
+        self.res = [w.reserved for w in worms]
+        # Destination-queue verdict, frozen for the batch window:
+        # -1 unknown, 0 refused, 1 reserved.  The caller guarantees the
+        # accept function's inputs cannot change inside the window.
+        self.acc = [-1] * len(worms)
+        self.alive = list(range(len(worms)))
+
+    @property
+    def n_alive(self) -> int:
+        return len(self.alive)
+
+    def worm(self, j: int):
+        return self.worms[j]
+
+    def cycle(self) -> Tuple[Optional[List[int]], Optional[List[int]], int]:
+        """Advance every live lane one cycle.
+
+        Returns ``(completed, injection_done, stall_cycles)`` where the
+        lists hold lane indices (or None when empty).  The update mirrors
+        :meth:`Fabric._step_worm` exactly, minus the owner-map traffic
+        that solo worms by construction never need.
+        """
+        completed: Optional[List[int]] = None
+        inj_done: Optional[List[int]] = None
+        stalls = 0
+        buffer_phits = self.buffer
+        h, r, inj, dlv = self.h, self.r, self.inj, self.dlv
+        tot, last, res, acc = self.tot, self.last, self.res, self.acc
+        dead = None
+        for j in self.alive:
+            moved = False
+            hj = h[j]
+            # 1. Head acquisition: always free for a solo worm.
+            if hj < last[j]:
+                h[j] = hj = hj + 1
+                moved = True
+            # 2. Delivery streaming behind a (frozen) reservation.
+            if hj == last[j]:
+                if not res[j]:
+                    a = acc[j]
+                    if a < 0:
+                        a = acc[j] = 1 if self.accept(self.worms[j]) else 0
+                    if a:
+                        res[j] = True
+                    else:
+                        stalls += 1
+                if res[j]:
+                    dj = dlv[j]
+                    ij = inj[j]
+                    limit = ij if ij < tot[j] else tot[j]
+                    if dj < limit:
+                        dlv[j] = dj = dj + 1
+                        moved = True
+                        if dj == tot[j]:
+                            if completed is None:
+                                completed = []
+                            completed.append(j)
+                            if dead is None:
+                                dead = set()
+                            dead.add(j)
+                            continue  # completion skips phases 3 and 4
+            # 3. Injection, bounded by the held span's buffer slack.
+            ij = inj[j]
+            if ij < tot[j]:
+                if ij - dlv[j] < buffer_phits * (hj - r[j] + 1):
+                    inj[j] = ij = ij + 1
+                    moved = True
+                    if ij == tot[j]:
+                        if inj_done is None:
+                            inj_done = []
+                        inj_done.append(j)
+            # 4. Tail release keeps the span matched to in-flight phits.
+            if ij == tot[j] and moved:
+                in_flight = ij - dlv[j]
+                span_needed = -(-in_flight // buffer_phits)
+                if span_needed < 1:
+                    span_needed = 1
+                target = hj - span_needed + 1
+                if r[j] < target:
+                    r[j] = target
+        if dead:
+            self.alive = [j for j in self.alive if j not in dead]
+        return completed, inj_done, stalls
+
+    def alive_states(self):
+        """Yield (worm, head, released, injected, delivered, reserved)
+        for every lane still in flight, for write-back at batch end."""
+        for j in self.alive:
+            yield (self.worms[j], self.h[j], self.r[j], self.inj[j],
+                   self.dlv[j], bool(self.res[j]))
+
+
+class NumpyLanes:
+    """numpy solo lanes: one array per field, array ops per cycle."""
+
+    def __init__(self, worms: List, buffer_phits: int,
+                 accept: AcceptProbe) -> None:
+        if _np is None:  # pragma: no cover - guarded by the factory
+            raise RuntimeError("numpy is not available")
+        self.worms = worms
+        self.buffer = buffer_phits
+        self.accept = accept
+        self.h = _np.array([w.head for w in worms], dtype=_np.int64)
+        self.r = _np.array([w.released for w in worms], dtype=_np.int64)
+        self.inj = _np.array([w.injected for w in worms], dtype=_np.int64)
+        self.dlv = _np.array([w.delivered for w in worms], dtype=_np.int64)
+        self.tot = _np.array([w.total_phits for w in worms], dtype=_np.int64)
+        self.last = _np.array([len(w.path) - 1 for w in worms],
+                              dtype=_np.int64)
+        self.res = _np.array([w.reserved for w in worms], dtype=bool)
+        self.acc = _np.full(len(worms), -1, dtype=_np.int8)
+        self.av = _np.ones(len(worms), dtype=bool)
+        self.n_alive = len(worms)
+
+    def worm(self, j: int):
+        return self.worms[j]
+
+    def cycle(self) -> Tuple[Optional[List[int]], Optional[List[int]], int]:
+        """One simulated cycle for all live lanes via whole-array ops.
+
+        Same contract as :meth:`PyLanes.cycle`; the phase order (head,
+        delivery, injection, tail release) matches the scalar reference
+        so intermediate values observed by later phases are identical.
+        """
+        np = _np
+        av = self.av
+        h, r, inj, dlv = self.h, self.r, self.inj, self.dlv
+        tot, last, res = self.tot, self.last, self.res
+        # 1. Head acquisition.
+        adv = av & (h < last)
+        h[adv] += 1
+        # 2. Reservation and delivery streaming.
+        at_eject = av & (h == last)
+        need = at_eject & ~res
+        stalls = 0
+        if need.any():
+            unknown = need & (self.acc == -1)
+            if unknown.any():
+                for j in np.nonzero(unknown)[0]:
+                    self.acc[j] = 1 if self.accept(self.worms[j]) else 0
+            res |= need & (self.acc == 1)
+            stalls = int((at_eject & ~res).sum())
+        deliver = at_eject & res & (dlv < np.minimum(inj, tot))
+        dlv[deliver] += 1
+        done = deliver & (dlv == tot)
+        completed: Optional[List[int]] = None
+        if done.any():
+            completed = np.nonzero(done)[0].tolist()
+            av = self.av = av & ~done
+            self.n_alive -= len(completed)
+        live = av  # completions skip phases 3 and 4
+        moved = (adv | deliver) & live
+        # 3. Injection, bounded by buffer slack over the held span.
+        can_inject = (live & (inj < tot)
+                      & (inj - dlv < self.buffer * (h - r + 1)))
+        inj[can_inject] += 1
+        moved |= can_inject
+        inj_done: Optional[List[int]] = None
+        just_full = can_inject & (inj == tot)
+        if just_full.any():
+            inj_done = np.nonzero(just_full)[0].tolist()
+        # 4. Tail release.
+        full = live & (inj == tot) & moved
+        if full.any():
+            in_flight = inj - dlv
+            span_needed = np.maximum(
+                1, -(-in_flight // self.buffer))
+            target = h - span_needed + 1
+            r[:] = np.where(full, np.maximum(r, target), r)
+        return completed, inj_done, stalls
+
+    def alive_states(self):
+        for j in _np.nonzero(self.av)[0]:
+            yield (self.worms[j], int(self.h[j]), int(self.r[j]),
+                   int(self.inj[j]), int(self.dlv[j]), bool(self.res[j]))
+
+
+def SoloLanes(worms: List, buffer_phits: int, accept: AcceptProbe,
+              use_numpy: bool):
+    """Backend factory: numpy lanes when requested and available."""
+    if use_numpy and HAVE_NUMPY:
+        return NumpyLanes(worms, buffer_phits, accept)
+    return PyLanes(worms, buffer_phits, accept)

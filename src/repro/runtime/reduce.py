@@ -118,8 +118,14 @@ class ReduceResult:
 
 
 def run_reduction(machine: JMachine, values: List[int],
-                  max_cycles: int = 2_000_000) -> ReduceResult:
-    """Sum one integer per node through the combining tree; verify."""
+                  max_cycles: int = 2_000_000,
+                  stop: str = "predicate") -> ReduceResult:
+    """Sum one integer per node through the combining tree; verify.
+
+    ``stop="quiescent"`` runs to machine quiescence instead of stopping
+    when every done flag is observed set; the cycle count then includes
+    the final drain, and the run may use the parallel backend.
+    """
     n = machine.mesh.n_nodes
     if len(values) != n:
         raise ConfigurationError("need exactly one value per node")
@@ -145,13 +151,16 @@ def run_reduction(machine: JMachine, values: List[int],
     for node_id in range(n):
         machine.inject(node_id, program.entry("kick"))
     done_addr = base + 4
-    machine.run(
-        max_cycles=max_cycles,
-        until=lambda m: all(
-            m.node(i).proc.memory.peek(done_addr).value == 1
-            for i in range(n)
-        ),
-    )
+    if stop == "quiescent":
+        machine.run(max_cycles=max_cycles)
+    else:
+        machine.run(
+            max_cycles=max_cycles,
+            until=lambda m: all(
+                m.node(i).proc.memory.peek(done_addr).value == 1
+                for i in range(n)
+            ),
+        )
     complete = all(machine.node(i).proc.memory.peek(done_addr).value == 1
                    for i in range(n))
     total = machine.node(0).proc.memory.peek(base + 3).value

@@ -405,16 +405,25 @@ def _run(
     responder: int,
     iterations: int,
     max_cycles: int,
+    stop: str = "predicate",
 ) -> PingResult:
     req = machine.node(requester).proc
     globals_base = program.end + 4
     done_addr = globals_base + _G_DONE
     start = machine.now
     machine.inject(requester, program.entry(go_label))
-    machine.run(
-        max_cycles=max_cycles,
-        until=lambda m: req.memory.peek(done_addr).value == 1,
-    )
+    if stop == "quiescent":
+        # Run to machine quiescence instead of watching the done flag.
+        # The experiment naturally quiesces once the flag is set (all
+        # threads end), so this measures the same work plus the final
+        # drain — and, with no per-cycle predicate, it is eligible for
+        # the sharded parallel backend (see repro.parallel).
+        machine.run(max_cycles=max_cycles)
+    else:
+        machine.run(
+            max_cycles=max_cycles,
+            until=lambda m: req.memory.peek(done_addr).value == 1,
+        )
     if req.memory.peek(done_addr).value != 1:
         raise ConfigurationError("RPC experiment did not complete")
     return PingResult(
@@ -432,12 +441,18 @@ def run_ping(
     responder: Optional[int] = None,
     iterations: int = 20,
     max_cycles: int = 2_000_000,
+    stop: str = "predicate",
 ) -> PingResult:
-    """Measure null-RPC round-trip latency (the Figure 2 "Ping" line)."""
+    """Measure null-RPC round-trip latency (the Figure 2 "Ping" line).
+
+    ``stop="quiescent"`` runs to machine quiescence instead of stopping
+    the moment the done flag is observed; cycle counts then include the
+    final drain, and the run may use the parallel backend.
+    """
     responder = requester if responder is None else responder
     program = _setup(machine, requester, responder, iterations, 0, True)
     return _run(machine, program, "ping_go", requester, responder,
-                iterations, max_cycles)
+                iterations, max_cycles, stop=stop)
 
 
 def run_remote_read(

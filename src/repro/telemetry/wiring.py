@@ -128,6 +128,18 @@ def _fabric_source(fabric):
     return sample
 
 
+def _route_cache_source(fabric):
+    def sample():
+        return {
+            "hits": fabric.route_cache_hits,
+            "misses": fabric.route_cache_misses,
+            "entries": len(fabric._route_cache),
+            "max_entries": fabric.route_cache_max,
+        }
+
+    return sample
+
+
 def register_machine_metrics(machine, registry: MetricsRegistry) -> None:
     """Register the standard cycle-level sources for ``machine``."""
     registry.register_source("machine.cycles", lambda: machine.now)
@@ -139,6 +151,8 @@ def register_machine_metrics(machine, registry: MetricsRegistry) -> None:
         registry.register_source(f"{prefix}.queue", _queue_source(proc))
         registry.register_source(f"{prefix}.amt", _amt_source(proc))
     registry.register_source("net", _fabric_source(machine.fabric))
+    registry.register_source("net.route_cache",
+                             _route_cache_source(machine.fabric))
     registry.register_source("net.latency",
                              lambda: machine.fabric.stats.latency)
 
