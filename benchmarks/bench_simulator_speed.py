@@ -122,9 +122,20 @@ def test_cycle_simulator_slow_reference(benchmark):
     assert instructions == 3002
 
 
+def _gc_settle():
+    # The fabric pair feeds a ±3% overhead gate, but by this point in
+    # the suite the earlier benchmarks have skewed the allocator state:
+    # whichever of the two runs crosses a GC threshold mid-measurement
+    # eats the pause, which reproducibly lands the pair outside the
+    # gate.  Collecting before each round makes the pause symmetric.
+    import gc
+
+    gc.collect()
+
+
 def test_loaded_fabric_throughput(benchmark):
     instructions = benchmark.pedantic(run_loaded_fabric, rounds=3,
-                                      iterations=1)
+                                      iterations=1, setup=_gc_settle)
     assert instructions == RING_TOKENS * (RING_HOPS * 9 + 3)
 
 
@@ -137,7 +148,7 @@ def test_loaded_fabric_metrics_only(benchmark):
     ``BENCH_simspeed.json`` and fails the build otherwise.
     """
     instructions = benchmark.pedantic(run_loaded_fabric, rounds=3,
-                                      iterations=1,
+                                      iterations=1, setup=_gc_settle,
                                       kwargs={"telemetry": True})
     assert instructions == RING_TOKENS * (RING_HOPS * 9 + 3)
 
