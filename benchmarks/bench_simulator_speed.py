@@ -123,11 +123,9 @@ def test_cycle_simulator_slow_reference(benchmark):
 
 
 def _gc_settle():
-    # The fabric pair feeds a ±3% overhead gate, but by this point in
-    # the suite the earlier benchmarks have skewed the allocator state:
-    # whichever of the two runs crosses a GC threshold mid-measurement
-    # eats the pause, which reproducibly lands the pair outside the
-    # gate.  Collecting before each round makes the pause symmetric.
+    # The fabric pair feeds a ±3% overhead gate; collect before each
+    # round so a GC threshold crossed mid-measurement doesn't land its
+    # pause in one variant and not the other.
     import gc
 
     gc.collect()
@@ -144,13 +142,36 @@ def test_loaded_fabric_metrics_only(benchmark):
 
     Metrics registration is pull-based (sampled only at snapshot), so
     this must track ``test_loaded_fabric_throughput`` to within 3% —
-    ``make telemetry-gate`` compares the two entries in
-    ``BENCH_simspeed.json`` and fails the build otherwise.
+    ``make telemetry-gate`` checks, and fails the build otherwise.
+
+    Comparing this entry's timing against the other test's is too noisy
+    for a 3% limit on a shared host (the two run ~10 s apart; host
+    drift between them has measured up to ±10% on the CI container), so
+    this test *also* measures the pair interleaved — off/on back to
+    back, so drift hits both variants equally — and stores the paired
+    minima in ``extra_info``, which ``check_telemetry_overhead.py``
+    prefers over the cross-entry comparison.
     """
+    import gc
+    import time
+
     instructions = benchmark.pedantic(run_loaded_fabric, rounds=3,
                                       iterations=1, setup=_gc_settle,
                                       kwargs={"telemetry": True})
     assert instructions == RING_TOKENS * (RING_HOPS * 9 + 3)
+
+    off, on = [], []
+    for _ in range(5):
+        gc.collect()
+        start = time.perf_counter()
+        run_loaded_fabric()
+        off.append(time.perf_counter() - start)
+        gc.collect()
+        start = time.perf_counter()
+        run_loaded_fabric(telemetry=True)
+        on.append(time.perf_counter() - start)
+    benchmark.extra_info["paired_off_min"] = min(off)
+    benchmark.extra_info["paired_on_min"] = min(on)
 
 
 def test_macro_simulator_throughput(benchmark):
