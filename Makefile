@@ -1,7 +1,8 @@
 # Convenience targets for the J-Machine reproduction.
 
 .PHONY: install test bench perfsmoke telemetry-gate chaos-smoke \
-	trace-smoke parallel-smoke check paper report examples clean
+	trace-smoke parallel-smoke snapshot-smoke check paper report \
+	examples clean
 
 install:
 	pip install -e .
@@ -47,9 +48,17 @@ trace-smoke:
 parallel-smoke:
 	PYTHONPATH=src python benchmarks/bench_parallel_speedup.py --smoke
 
+# Checkpoint/restore smoke: kill each simulation level at its first
+# periodic save, resume in a fresh process, and assert the sha256
+# telemetry digest matches an uninterrupted run; records save/restore
+# latency into BENCH_snapshot.json (docs/SNAPSHOT.md).
+snapshot-smoke:
+	PYTHONPATH=src python benchmarks/snapshot_smoke.py --smoke
+
 # The full gate: correctness, throughput, telemetry overhead, chaos,
-# causal tracing, parallel determinism.
-check: test telemetry-gate chaos-smoke trace-smoke parallel-smoke
+# causal tracing, parallel determinism, checkpoint/restore.
+check: test telemetry-gate chaos-smoke trace-smoke parallel-smoke \
+	snapshot-smoke
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:

@@ -46,6 +46,10 @@ def summarize(data: dict) -> dict:
             for bench in data.get("benchmarks", [])
         },
     }
+    if "snapshot" in data:
+        # snapshot_smoke.py payloads: checkpoint save/restore latency
+        # and file size per simulation level.
+        entry["snapshot"] = data["snapshot"]
     if info.get("dirty"):
         entry["dirty"] = True
     return entry

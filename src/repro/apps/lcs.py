@@ -158,13 +158,22 @@ def scaling_analysis(n_nodes: int, params: LcsParams = LcsParams(),
 
 def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
                  config: Optional[MacroConfig] = None,
-                 telemetry=None, chaos=None, reliable=None) -> AppResult:
+                 telemetry=None, chaos=None, reliable=None,
+                 checkpoint=None, restore_from=None) -> AppResult:
     """Run the systolic LCS on a macro-simulated machine and verify it.
 
     ``chaos`` attaches a :class:`~repro.chaos.ChaosEngine` (fault
     injection); ``reliable`` — True or a dict of
     :class:`~repro.runtime.rpc.ReliableLayer` kwargs — adds the
     retransmitting transport that lets the run survive message loss.
+
+    ``checkpoint`` installs a
+    :class:`~repro.snapshot.CheckpointPolicy` for periodic saves;
+    ``restore_from`` resumes from such a checkpoint instead of
+    injecting the start message — the same app setup (params, chaos
+    plan, reliable kwargs) must be passed, since macro restore loads
+    state *into* a prepared simulator (handlers are closures over the
+    app's data and cannot live in a snapshot; see docs/SNAPSHOT.md).
     """
     if n_nodes < 1:
         raise ConfigurationError("need at least one node")
@@ -228,7 +237,11 @@ def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
 
         kwargs = reliable if isinstance(reliable, dict) else {}
         layer = ReliableLayer(sim, **kwargs)
-    sim.inject(0, "StartUp", 0)
+    sim.checkpoint = checkpoint
+    if restore_from is not None:
+        sim.restore_state(restore_from)
+    else:
+        sim.inject(0, "StartUp", 0)
     cycles = sim.run()
 
     result = sim.nodes[last_holder].state["result"]

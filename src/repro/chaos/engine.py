@@ -268,6 +268,62 @@ class ChaosEngine:
                             src=source, cycles=spec.delay)
         return False, extra
 
+    # ------------------------------------------------------ snapshot contract
+
+    #: Attributes re-derived from the plan by ``__init__`` /
+    #: ``attach_*`` rather than captured: the rate-spec lists, the
+    #: window/kill indexes, the schedule closures (which close over live
+    #: node objects), and the telemetry binding.
+    DERIVED_ATTRS = frozenset({
+        "plan", "_events", "_fabric_rate_specs", "_macro_rate_specs",
+        "_link_windows", "_stall_windows", "_kill_at", "_machine_schedule",
+    })
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume injection mid-plan, picklable.
+
+        The RNG streams are captured as ``random.Random.getstate()``
+        tuples — the named-stream *positions*, which is what makes a
+        resumed chaos run replay the exact same drop/corrupt decisions
+        as the uninterrupted one.
+        """
+        return {
+            "plan": self.plan.to_dict(),
+            "log_limit": self._log_limit,
+            "counters": dict(self.counters),
+            "log": list(self.log),
+            "fabric_rng": self._fabric_rng.getstate(),
+            "macro_rng": self._macro_rng.getstate(),
+            "schedule_rng": self._schedule_rng.getstate(),
+            "schedule_pos": self._schedule_pos,
+            "stall_recorded": set(self._stall_recorded),
+            "kill_recorded": set(self._kill_recorded),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Resume a :meth:`state_dict` capture on this engine.
+
+        Call *after* ``attach_machine``/``attach_macro``: attachment
+        rebuilds the schedule closures over the restored nodes and
+        resets ``_schedule_pos``, which this method then overwrites with
+        the captured position so already-applied one-shot actions do not
+        fire twice.
+        """
+        if state["plan"] != self.plan.to_dict():
+            from ..core.errors import SnapshotError
+
+            raise SnapshotError(
+                "chaos state was captured under a different fault plan")
+        self._log_limit = state["log_limit"]
+        self.counters = dict(state["counters"])
+        self.log = list(state["log"])
+        self._fabric_rng.setstate(state["fabric_rng"])
+        self._macro_rng.setstate(state["macro_rng"])
+        self._schedule_rng.setstate(state["schedule_rng"])
+        self._schedule_pos = state["schedule_pos"]
+        self._stall_recorded = set(state["stall_recorded"])
+        self._kill_recorded = set(state["kill_recorded"])
+
     # ------------------------------------------------------------- summaries
 
     def summary(self) -> Dict[str, int]:

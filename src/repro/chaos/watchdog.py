@@ -18,8 +18,8 @@ signature is only computed every ``interval`` cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional, Tuple
 
 from ..core.errors import DeadlockError
 from ..core.registers import Priority
@@ -53,6 +53,30 @@ class NodeSnapshot:
             f"spill={self.spilled} instr={self.instructions} "
             f"sfaults={self.send_faults} tick={self.next_tick} [{state}]"
         )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (snapshot headers, the ``diff`` CLI)."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "NodeSnapshot":
+        return NodeSnapshot(**data)
+
+    def diff(self, other: "NodeSnapshot") -> Dict[str, Tuple]:
+        """Fields that changed between two captures of the same node.
+
+        Returns ``{field: (self_value, other_value)}``; empty when the
+        node did not move.  Used by the time-travel bisector to show
+        exactly what a node did (or stopped doing) between the last
+        progressing cycle and the deadlock.
+        """
+        out: Dict[str, Tuple] = {}
+        for field in fields(self):
+            a = getattr(self, field.name)
+            b = getattr(other, field.name)
+            if a != b:
+                out[field.name] = (a, b)
+        return out
 
 
 def snapshot_node(node) -> NodeSnapshot:

@@ -24,6 +24,7 @@ __all__ = [
     "QueueUnderflowError",
     "DeadlockError",
     "DeliveryError",
+    "SnapshotError",
     "MdpFault",
     "CfutFault",
     "FutUseFault",
@@ -114,6 +115,16 @@ class DeliveryError(SimulationError):
         self.seq = seq
         self.attempts = attempts
         super().__init__(detail)
+
+
+class SnapshotError(SimulationError):
+    """A checkpoint file could not be written, read, or applied.
+
+    Raised by :mod:`repro.snapshot` for corrupt payloads (sha256
+    mismatch), unknown format versions, and restores into a simulator
+    whose shape (node count, registered handlers) does not match the
+    one that was captured.
+    """
 
 
 class MdpFault(Exception):

@@ -126,3 +126,39 @@ class LatencyModel:
         self._backlog_clear_time = start + service
         queueing = start - now
         return base + int(contention + queueing)
+
+    # ------------------------------------------------------ snapshot contract
+
+    #: Attributes a restored simulator rebuilds from its own config
+    #: rather than loads: the mesh/cost structure, the sizing constants
+    #: derived from them, and the pure ``(src, dst)`` distance cache.
+    EXTERNAL_ATTRS = frozenset({
+        "mesh", "costs", "interface_cycles", "window",
+        "capacity_words_per_cycle", "_phits_per_word", "_pair_cache",
+    })
+
+    def state_dict(self) -> dict:
+        """The mutable model state (utilization metering + backlog).
+
+        The model is *stateful*: latency depends on the sliding
+        utilization window and the saturation backlog, so a resumed run
+        with a cold model would see different arrival times than the
+        uninterrupted one.
+        """
+        return {
+            "bucket_start": self._bucket_start,
+            "bucket_words": self._bucket_words,
+            "prev_rate": self._prev_rate,
+            "backlog_clear_time": self._backlog_clear_time,
+            "messages": self.messages,
+            "crossing_messages": self.crossing_messages,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self._bucket_start = state["bucket_start"]
+        self._bucket_words = state["bucket_words"]
+        self._prev_rate = state["prev_rate"]
+        self._backlog_clear_time = state["backlog_clear_time"]
+        self.messages = state["messages"]
+        self.crossing_messages = state["crossing_messages"]

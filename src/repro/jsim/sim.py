@@ -292,6 +292,9 @@ class MacroSimulator:
         #: instead of rooting a new one, so request reissues stay in the
         #: original request's trace.
         self._inject_trace = None
+        #: Optional :class:`~repro.snapshot.CheckpointPolicy`; when set,
+        #: :meth:`run` saves periodic checkpoints between events.
+        self.checkpoint = None
         if telemetry is not None:
             from ..telemetry.wiring import instrument_macro
 
@@ -456,11 +459,24 @@ class MacroSimulator:
         timer = self._TIMER
         start_task = self._start_task
         ebus = self._ebus
+        checkpoint = self.checkpoint
         processed = 0
         while events:
-            (time, _, kind, dest, handler_name, args, length, priority,
+            if checkpoint is not None:
+                # Simulated time only advances when the next event is
+                # processed, so checkpoint eligibility is judged at that
+                # event's time (and recorded there, or back-to-back
+                # saves would loop on one long gap).
+                horizon = max(self.now, events[0][0])
+                if checkpoint.due(horizon):
+                    checkpoint.save(self, run_limit=max_time, at=horizon)
+            (time, seq, kind, dest, handler_name, args, length, priority,
              trace) = heappop(events)
             if max_time is not None and time > max_time:
+                # Not ours to process: put the event back so a later
+                # run (or a checkpoint taken now) still sees it.
+                heapq.heappush(events, (time, seq, kind, dest, handler_name,
+                                        args, length, priority, trace))
                 break
             self.now = time
             if kind == timer:
@@ -503,6 +519,33 @@ class MacroSimulator:
             # critical-path analyzer sees the run extent at both levels.
             ebus.emit("run-end", self.end_time, -1)
         return self.end_time
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def save(self, path: str, run_limit: Optional[int] = None,
+             meta=None) -> dict:
+        """Checkpoint this simulator to ``path``; returns the header.
+
+        ``run_limit`` records the ``max_time`` of the run being
+        checkpointed (None for unbounded).  See docs/SNAPSHOT.md.
+        """
+        from ..snapshot import save_macro
+
+        return save_macro(self, path, run_limit=run_limit, meta=meta)
+
+    def restore_state(self, path: str) -> dict:
+        """Resume a :meth:`save` checkpoint *into this simulator*.
+
+        Unlike ``JMachine.restore`` this is restore-into, not rebuild:
+        macro handlers are Python closures the snapshot cannot capture,
+        so the caller re-registers them (by running the same application
+        setup) and then calls this to overwrite clocks, queues, node
+        state, the event heap, and the chaos/reliable/telemetry state.
+        Returns the snapshot header.
+        """
+        from ..snapshot import restore_macro_into
+
+        return restore_macro_into(self, path)
 
     # -- reporting ---------------------------------------------------------------
 

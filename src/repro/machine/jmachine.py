@@ -89,6 +89,14 @@ class JMachine:
         #: Why the last run stayed serial despite ``parallel_shards``
         #: (set by :func:`repro.parallel.machine.run_parallel`).
         self._parallel_skip_reason: Optional[str] = None
+        #: Lifetime count of parallel-attempt fallbacks (exported as the
+        #: ``machine.parallel.skips`` metric; each one also emits a
+        #: ``parallel-skip`` telemetry event).
+        self._parallel_skips = 0
+        #: Optional :class:`~repro.snapshot.CheckpointPolicy`; when set,
+        #: the run loops save periodic checkpoints (serial: at the top of
+        #: the loop; parallel: at epoch-barrier idle points).
+        self.checkpoint = None
         #: Attached telemetry rig (see :mod:`repro.telemetry`), or None.
         self.telemetry = telemetry
         if telemetry is not None:
@@ -345,10 +353,11 @@ class JMachine:
         watchdog = self.watchdog
         if watchdog is not None:
             watchdog.reset(self.now)
+        self._parallel_skip_reason = None
         try:
             if self.parallel_shards and self.parallel_shards > 1:
                 if until is not None:
-                    self._parallel_skip_reason = (
+                    self._note_parallel_skip(
                         "run(until=...) predicates observe global state "
                         "every cycle")
                 else:
@@ -395,7 +404,12 @@ class JMachine:
         # observer is installed, which keeps those paths on the
         # exact reference interleaving.
         batchable = until is None and watchdog is None
+        checkpoint = self.checkpoint
         while self.now < limit:
+            if checkpoint is not None and checkpoint.due(self.now):
+                # Saving is read-only, so a run with checkpointing
+                # enabled stays bit-identical to one without.
+                checkpoint.save(self, run_limit=limit)
             if chaos is not None:
                 chaos.machine_tick(self, self.now)
             self._commit_deliveries()
@@ -448,6 +462,40 @@ class JMachine:
         telemetry = self.telemetry
         if telemetry is not None and telemetry.events is not None:
             telemetry.events.emit("run-end", self.now, -1)
+
+    def _note_parallel_skip(self, reason: str) -> None:
+        """Record one parallel→serial fallback: attribute, counter, event."""
+        self._parallel_skip_reason = reason
+        self._parallel_skips += 1
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.events is not None:
+            telemetry.events.emit("parallel-skip", self.now, -1, name=reason)
+
+    # -------------------------------------------------------------- snapshots
+
+    def save(self, path: str, run_limit: Optional[int] = None,
+             meta=None) -> dict:
+        """Checkpoint the whole machine to ``path``; returns the header.
+
+        ``run_limit`` records the absolute cycle limit of the run being
+        checkpointed so ``repro.snapshot resume`` can finish it.  See
+        docs/SNAPSHOT.md for the format and the capture contract.
+        """
+        from ..snapshot import save_machine
+
+        return save_machine(self, path, run_limit=run_limit, meta=meta)
+
+    @staticmethod
+    def restore(path: str) -> "JMachine":
+        """Rebuild a machine from a :meth:`save` checkpoint.
+
+        Cycle-level snapshots are fully self-contained (code images are
+        part of processor state), so the restored machine needs no
+        re-setup: call ``run`` and it continues bit-identically.
+        """
+        from ..snapshot import load_machine
+
+        return load_machine(path)
 
     def run_until_quiescent(self, max_cycles: int = 10_000_000) -> int:
         """Run to quiescence; raises :class:`DeadlockError` if the limit

@@ -692,6 +692,77 @@ class Fabric:
             worms_in_flight=len(self._active),
         )
 
+    # ------------------------------------------------------- snapshot contract
+
+    #: Constructor-wired attributes :meth:`state_dict` deliberately does
+    #: NOT capture: they belong to whoever built the fabric (the machine
+    #: or a harness) and are re-established by fresh construction on
+    #: restore.  tests/snapshot/test_contracts.py asserts that captured
+    #: + external covers every instance attribute, so a new attribute
+    #: cannot silently vanish from checkpoints.
+    EXTERNAL_ATTRS = frozenset({
+        "mesh", "accept_fn", "deliver_fn", "costs", "inject_latency",
+        "eject_latency", "arbitration", "flow_control", "on_injected",
+        "_events", "chaos",
+    })
+
+    def state_dict(self) -> dict:
+        """Every run-mutable piece of fabric state, picklable.
+
+        Worms are captured by reference (they pickle via ``__slots__``),
+        so the sharing structure — one worm appearing as a channel owner,
+        in the active list, and in a pending queue — survives the
+        round trip through the snapshot's single pickle.
+        """
+        return {
+            "owner": dict(self._owner),
+            "active": list(self._active),
+            "pending": {key: list(queue)
+                        for key, queue in self._pending.items()},
+            "pending_count": self._pending_count,
+            "staged": list(self._staged),
+            "route_cache": dict(self._route_cache),
+            "route_cache_max": self.route_cache_max,
+            "route_cache_hits": self.route_cache_hits,
+            "route_cache_misses": self.route_cache_misses,
+            "seq": self._seq,
+            "vector_threshold": self.vector_threshold,
+            "stats": self.stats,
+            "track_channel_load": self.track_channel_load,
+            "channel_phits": dict(self.channel_phits),
+            "watchdog_cycles": self.watchdog_cycles,
+            "stagnant_cycles": self._stagnant_cycles,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install a :meth:`state_dict` capture into this fabric.
+
+        The fabric must have been constructed with the same topology and
+        wiring as the captured one; everything in
+        :data:`EXTERNAL_ATTRS` is left untouched.
+        """
+        self._owner = dict(state["owner"])
+        self._active = list(state["active"])
+        self._pending = {key: deque(queue)
+                         for key, queue in state["pending"].items()}
+        self._pending_count = state["pending_count"]
+        self._staged = list(state["staged"])
+        self._route_cache = dict(state["route_cache"])
+        self.route_cache_max = state["route_cache_max"]
+        self.route_cache_hits = state["route_cache_hits"]
+        self.route_cache_misses = state["route_cache_misses"]
+        self._seq = state["seq"]
+        # The threshold is a host capability, not machine state: honour
+        # the captured tuning only where numpy exists at all.
+        self.vector_threshold = (state["vector_threshold"]
+                                 if HAVE_NUMPY else None)
+        self.stats = state["stats"]
+        self.stats.mesh = self.mesh
+        self.track_channel_load = state["track_channel_load"]
+        self.channel_phits = dict(state["channel_phits"])
+        self.watchdog_cycles = state["watchdog_cycles"]
+        self._stagnant_cycles = state["stagnant_cycles"]
+
     # ---------------------------------------------------------------- helpers
 
     def drain(self, now: int, max_cycles: int = 1_000_000) -> int:

@@ -60,24 +60,45 @@ def run_parallel(machine, limit: int) -> Optional[int]:
     shards = getattr(machine, "parallel_shards", 0)
     reason = unsupported_reason(machine, shards)
     if reason is not None:
-        machine._parallel_skip_reason = reason
+        machine._note_parallel_skip(reason)
         return None
-    coordinator = _Coordinator(machine, shards, limit)
-    try:
-        return coordinator.run()
-    except ParallelFallback as exc:
-        machine._parallel_skip_reason = str(exc)
-        return None
-    finally:
-        coordinator.shutdown()
+    checkpoint = getattr(machine, "checkpoint", None)
+    if checkpoint is not None and checkpoint.next_due is None:
+        # Arm the clock at run start, as the serial loop's first
+        # ``due`` poll would; idle jumps are too rare to spend one.
+        checkpoint.due(machine.now)
+    # Checkpointing splits the run into segments: each pause folds the
+    # attempt back into the machine at an epoch-barrier idle point (a
+    # cycle the serial loop would also pass through with an empty
+    # fabric), saves, and a fresh coordinator picks the run back up.
+    # The segments partition the event stream at the pause cycle, so
+    # the merged stream is identical to an unpaused attempt's.
+    while True:
+        coordinator = _Coordinator(machine, shards, limit, pause=checkpoint)
+        try:
+            final = coordinator.run()
+        except ParallelFallback as exc:
+            machine._note_parallel_skip(str(exc))
+            return None
+        finally:
+            coordinator.shutdown()
+        if not coordinator.paused:
+            return final
+        checkpoint.save(machine, run_limit=limit)
 
 
 class _Coordinator:
     """One parallel run attempt: owns workers, replay fabric, schedule."""
 
-    def __init__(self, machine, shards: int, limit: int) -> None:
+    def __init__(self, machine, shards: int, limit: int,
+                 pause=None) -> None:
         self.machine = machine
         self.limit = limit
+        #: Checkpoint policy consulted at idle points; when it says a
+        #: save is due, the attempt folds into the machine and returns
+        #: with :attr:`paused` set instead of running to the limit.
+        self.pause = pause
+        self.paused = False
         self.shard_nodes = shard_ranges(machine.mesh.n_nodes, shards)
         self.n_shards = len(self.shard_nodes)
         self.procs: list = []
@@ -276,6 +297,18 @@ class _Coordinator:
                     # and only then notices it crossed the limit.
                     final = max(final, target)
                     break
+                pause = self.pause
+                if (pause is not None and target > now
+                        and pause.due(target)):
+                    # Fold at the jump target, exactly where the serial
+                    # loop's top-of-iteration state would be: fabric
+                    # empty, no pending commits, clock at `target`.
+                    # The caller saves and resumes with a fresh
+                    # coordinator (worker deltas are cumulative since
+                    # fork, so this one cannot continue after folding).
+                    self._finalize(target)
+                    self.paused = True
+                    return target
                 now = target
             elif now >= limit:
                 final = max(final, limit)

@@ -248,8 +248,7 @@ class ReliableLayer:
 
     def _arm_timer(self, seq: int, sent_at: int, attempt: int) -> None:
         delay = int(self.timeout * (self.backoff ** attempt))
-        self.sim.schedule_call(sent_at + delay,
-                               lambda now, seq=seq: self._on_timeout(seq, now))
+        self.sim.schedule_call(sent_at + delay, _RetryTimer(self, seq))
 
     def _on_timeout(self, seq: int, now: int) -> None:
         entry = self._pending.get(seq)
@@ -342,6 +341,77 @@ class ReliableLayer:
             "acked": self.acked,
             "in_flight": self.in_flight,
         }
+
+    # -- snapshot contract ----------------------------------------------------
+
+    #: Attributes established by construction against a live simulator
+    #: (``__init__`` registers handlers and shadows ``sim.post``) rather
+    #: than captured by :meth:`state_dict`.
+    EXTERNAL_ATTRS = frozenset({"sim", "_raw_post"})
+
+    def state_dict(self) -> dict:
+        """The transport's resumable state: windows, streams, counters.
+
+        The retransmit *timers* are not here — they live in the macro
+        simulator's event heap as :class:`_RetryTimer` entries, which
+        the snapshot layer re-binds to the restored layer by sequence
+        number.
+        """
+        return {
+            "timeout": self.timeout,
+            "max_retries": self.max_retries,
+            "backoff": self.backoff,
+            "pending": dict(self._pending),
+            "next_seq": self._next_seq,
+            "stream_next": dict(self._stream_next),
+            "expected": [dict(d) for d in self._expected],
+            "stash": [dict(d) for d in self._stash],
+            "retries": self.retries,
+            "give_ups": self.give_ups,
+            "duplicates": self.duplicates,
+            "reordered": self.reordered,
+            "acked": self.acked,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Resume a :meth:`state_dict` capture on this (installed) layer."""
+        if len(state["expected"]) != self.sim.n_nodes:
+            raise SimulationError(
+                "reliable-layer state was captured on a machine of "
+                f"{len(state['expected'])} nodes, not {self.sim.n_nodes}")
+        self.timeout = state["timeout"]
+        self.max_retries = state["max_retries"]
+        self.backoff = state["backoff"]
+        self._pending = dict(state["pending"])
+        self._next_seq = state["next_seq"]
+        self._stream_next = dict(state["stream_next"])
+        self._expected = [dict(d) for d in state["expected"]]
+        self._stash = [dict(d) for d in state["stash"]]
+        self.retries = state["retries"]
+        self.give_ups = state["give_ups"]
+        self.duplicates = state["duplicates"]
+        self.reordered = state["reordered"]
+        self.acked = state["acked"]
+
+
+class _RetryTimer:
+    """A retransmit-timer callback that names its layer and sequence.
+
+    ``schedule_call`` accepts any callable, and the layer used to pass a
+    lambda — opaque to everything else.  A named class makes the timer
+    *serializable by intent*: the snapshot layer can recognise it in the
+    event heap, store it as its sequence number, and rebuild it against
+    the restored layer on resume (closures cannot be captured).
+    """
+
+    __slots__ = ("layer", "seq")
+
+    def __init__(self, layer: ReliableLayer, seq: int) -> None:
+        self.layer = layer
+        self.seq = seq
+
+    def __call__(self, now: int) -> None:
+        self.layer._on_timeout(self.seq, now)
 
 
 @dataclass

@@ -1,0 +1,130 @@
+"""The on-disk checkpoint format: a self-describing two-part file.
+
+A snapshot file is::
+
+    #repro-snapshot 1\n          <- ASCII magic + major format version
+    {...json header...}\n        <- one line of JSON metadata
+    <pickle payload>             <- the state itself, one pickle
+
+The header is readable without touching the payload (``repro.snapshot
+info`` does exactly that): it carries the format version, the simulation
+level (``"cycle"`` or ``"macro"``), the payload length and its sha256,
+and free-form ``meta`` (capture cycle, node count, the run limit a
+resume should honour, scenario hints for the CLI).
+
+The payload is a *single* pickle of the whole state tree.  One pickle —
+rather than one per node — matters for correctness, not just speed:
+pickle memoization preserves object sharing, so route tuples shared
+between worms, messages referenced from both a staged heap and a node
+queue, and chaos plans referenced from several places come back as the
+same graph shape they had when captured.
+
+Compatibility rule: a reader accepts files whose major version is at
+most its own :data:`FORMAT_VERSION` (the header is additive within a
+major version); anything newer raises :class:`SnapshotError` rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.errors import SnapshotError
+
+__all__ = ["FORMAT_VERSION", "MAGIC", "SnapshotError", "write_snapshot",
+           "read_header", "read_snapshot"]
+
+#: Major version of the file format this build reads and writes.
+FORMAT_VERSION = 1
+
+#: First line of every snapshot file (includes the major version).
+MAGIC = b"#repro-snapshot 1\n"
+
+#: Fixed pickle protocol: snapshots written on any supported Python
+#: must load on any other, so the protocol is pinned, not "highest".
+_PICKLE_PROTOCOL = 4
+
+
+def write_snapshot(path: str, kind: str, payload: Any,
+                   meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Serialize ``payload`` to ``path``; returns the written header.
+
+    The file is written to a temporary sibling and renamed into place so
+    a crash mid-checkpoint (the very failure checkpoints exist to
+    survive) never leaves a truncated file under the final name.
+    """
+    if kind not in ("cycle", "macro"):
+        raise SnapshotError(f"unknown snapshot kind {kind!r}")
+    blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+    header = {
+        "format": "repro-snapshot",
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "payload_bytes": len(blob),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "meta": dict(meta) if meta else {},
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+        fh.write(b"\n")
+        fh.write(blob)
+    os.replace(tmp, path)
+    return header
+
+
+def _read_magic_and_header(fh: io.BufferedReader,
+                           path: str) -> Dict[str, Any]:
+    magic = fh.readline(len(MAGIC) + 1)
+    if not magic.startswith(b"#repro-snapshot "):
+        raise SnapshotError(f"{path}: not a repro snapshot file")
+    try:
+        header = json.loads(fh.readline().decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path}: corrupt snapshot header: {exc}")
+    version = header.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise SnapshotError(f"{path}: malformed snapshot version {version!r}")
+    if version > FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path}: snapshot format version {version} is newer than "
+            f"this build's {FORMAT_VERSION}; upgrade to read it")
+    return header
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """The JSON header alone — cheap, never unpickles the payload."""
+    with open(path, "rb") as fh:
+        return _read_magic_and_header(fh, path)
+
+
+def read_snapshot(path: str) -> Tuple[Dict[str, Any], Any]:
+    """Load and verify a snapshot; returns ``(header, payload)``.
+
+    The payload's sha256 is checked against the header before
+    unpickling, so a truncated or bit-flipped file fails with a clear
+    error instead of a confusing unpickling exception (or, worse, a
+    silently wrong machine state).
+    """
+    with open(path, "rb") as fh:
+        header = _read_magic_and_header(fh, path)
+        blob = fh.read()
+    expected = header.get("payload_bytes")
+    if expected is not None and len(blob) != expected:
+        raise SnapshotError(
+            f"{path}: payload is {len(blob)} bytes, header says {expected} "
+            f"(truncated file?)")
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != header.get("sha256"):
+        raise SnapshotError(f"{path}: payload sha256 mismatch (corrupt file)")
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise SnapshotError(f"{path}: cannot unpickle payload: {exc}")
+    return header, payload

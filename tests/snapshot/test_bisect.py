@@ -1,0 +1,108 @@
+"""Time-travel bisection: from a checkpoint to the first stalled cycle.
+
+Uses the watchdog suite's wedge scenario: a chaos plan kills node 0's
+router forever, a worm routed through it wedges the fabric, and the
+DeadlockWatchdog eventually trips — a full no-progress window after the
+machine actually stopped.  ``bisect_deadlock`` replays from the
+checkpoint and binary-searches for the true stall cycle.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.chaos import ChaosEngine, FaultPlan, FaultSpec
+from repro.core.errors import SnapshotError
+from repro.core.registers import Priority
+from repro.core.word import Word
+from repro.machine.jmachine import JMachine
+from repro.snapshot import bisect_deadlock
+from repro.telemetry import Telemetry
+
+ECHO = """
+echo:
+    SEND  [A3+1]
+    SEND  #IP:landing
+    SENDE [A3+2]
+    SUSPEND
+landing:
+    MOVE  [A3+1], [A0+0]
+    SUSPEND
+"""
+
+WINDOW = 2_000
+
+
+def _wedged_checkpoint(tmp_path, telemetry=True):
+    """A checkpoint of a machine doomed to deadlock (but not yet run)."""
+    machine = JMachine.build(8, telemetry=Telemetry() if telemetry else None)
+    program = assemble(ECHO)
+    machine.load(program)
+    base = program.end + 4
+    for node in machine.nodes:
+        node.proc.registers[Priority.P0].write("A0", Word.segment(base, 4))
+    ChaosEngine(FaultPlan(seed=1, specs=(
+        FaultSpec(kind="link", node=0),))).attach_machine(machine)
+    # Healthy echo traffic among nodes 1-7, then the doomed worm
+    # through node 0's dead router.
+    for i in range(1, 8):
+        machine.inject(i, program.entry("echo"),
+                       [Word.from_int((i % 7) + 1), Word.from_int(100 + i)],
+                       source=(i % 7) + 1)
+    machine.inject(7, program.entry("echo"),
+                   [Word.from_int(0), Word.from_int(1)], source=0)
+    path = str(tmp_path / "wedge.ckpt")
+    machine.save(path)
+    return path
+
+
+class TestBisect:
+    def test_finds_first_stalled_cycle(self, tmp_path):
+        path = _wedged_checkpoint(tmp_path)
+        result = bisect_deadlock(path, window=WINDOW)
+        # The watchdog saw the deadlock a full window after the stall;
+        # the bisection pinpoints the actual cycle, far earlier.
+        assert result.deadlock_cycle >= result.start_cycle + WINDOW
+        assert result.first_stalled_cycle < result.deadlock_cycle - WINDOW // 2
+        assert result.probes <= 20  # O(log) replays, not a linear scan
+        assert result.stall_snapshots
+        assert result.dead_snapshots
+
+    def test_replays_are_deterministic(self, tmp_path):
+        path = _wedged_checkpoint(tmp_path)
+        a = bisect_deadlock(path, window=WINDOW)
+        b = bisect_deadlock(path, window=WINDOW)
+        assert a.first_stalled_cycle == b.first_stalled_cycle
+        assert a.signature == b.signature
+
+    def test_diffs_pair_stall_against_detection(self, tmp_path):
+        path = _wedged_checkpoint(tmp_path)
+        result = bisect_deadlock(path, window=WINDOW)
+        assert set(result.diffs) <= {s.node_id
+                                     for s in result.dead_snapshots}
+        for delta in result.diffs.values():
+            for name, (at_stall, at_dead) in delta.items():
+                assert at_stall != at_dead
+
+    def test_format_is_printable(self, tmp_path):
+        path = _wedged_checkpoint(tmp_path)
+        report = bisect_deadlock(path, window=WINDOW).format()
+        assert "first stalled cycle" in report
+        assert "deadlock detected" in report
+        assert "node state at the stall" in report
+        assert "last telemetry events" in report
+
+    def test_healthy_run_refused(self, tmp_path):
+        machine = JMachine.build(8)
+        program = assemble(ECHO)
+        machine.load(program)
+        base = program.end + 4
+        for node in machine.nodes:
+            node.proc.registers[Priority.P0].write(
+                "A0", Word.segment(base, 4))
+        machine.inject(1, program.entry("echo"),
+                       [Word.from_int(2), Word.from_int(5)], source=2)
+        path = str(tmp_path / "fine.ckpt")
+        machine.save(path)
+        with pytest.raises(SnapshotError) as info:
+            bisect_deadlock(path, window=WINDOW)
+        assert "without deadlocking" in str(info.value)

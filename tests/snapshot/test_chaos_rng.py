@@ -1,0 +1,100 @@
+"""Chaos named-stream RNG round-tripping through snapshots.
+
+The fault injector's determinism rests on its named RNG streams
+(``plan.rng("fabric") / ("macro") / ("schedule")``).  A snapshot must
+save their *positions* mid-plan so a resumed run draws the exact
+sequence the uninterrupted run would — same drops, same corruptions,
+same stall schedule — which these tests check both at the unit level
+(``getstate`` fidelity) and end to end (sha256 event-stream equality,
+asserted in test_cycle_resume/test_macro_resume and spot-checked here).
+"""
+
+from repro.chaos import ChaosEngine, FaultPlan, FaultSpec
+from repro.core.errors import SnapshotError
+
+import pytest
+
+SPECS = (FaultSpec(kind="drop", rate=0.3),
+         FaultSpec(kind="corrupt", rate=0.2),
+         FaultSpec(kind="stall", node=1, start=100, duration=50))
+
+
+def _engine():
+    return ChaosEngine(FaultPlan(seed=11, specs=SPECS))
+
+
+class _FakeMacro:
+    """Just enough simulator for attach_macro."""
+
+    telemetry = None
+
+    def __init__(self):
+        self._chaos = None
+
+
+class TestStreamPositions:
+    def test_positions_survive_mid_plan(self):
+        """Save after consuming part of each stream; the restored engine
+        continues the streams bit-identically."""
+        engine = _engine().attach_macro(_FakeMacro())
+        for i in range(137):
+            engine.macro_verdict(0, 1, "h", 6, now=i)
+        state = engine.state_dict()
+
+        twin = _engine().attach_macro(_FakeMacro())
+        twin.load_state(state)
+        continued = [engine.macro_verdict(0, 1, "h", 6, now=1_000 + i)
+                     for i in range(100)]
+        replayed = [twin.macro_verdict(0, 1, "h", 6, now=1_000 + i)
+                    for i in range(100)]
+        assert continued == replayed
+        assert engine.counters == twin.counters
+        assert engine.log == twin.log
+
+    def test_state_includes_every_stream(self):
+        state = _engine().state_dict()
+        for stream in ("fabric_rng", "macro_rng", "schedule_rng"):
+            assert state[stream] is not None
+
+    def test_counters_and_log_round_trip(self):
+        engine = _engine().attach_macro(_FakeMacro())
+        for i in range(200):
+            engine.macro_verdict(0, 1, "h", 6, now=i)
+        assert engine.counters["drops"] > 0
+        twin = _engine().attach_macro(_FakeMacro())
+        twin.load_state(engine.state_dict())
+        assert dict(twin.counters) == dict(engine.counters)
+        assert list(twin.log) == list(engine.log)
+        assert twin.state_dict() == engine.state_dict()
+
+    def test_plan_mismatch_rejected(self):
+        engine = _engine()
+        other = ChaosEngine(FaultPlan(seed=12, specs=SPECS))
+        with pytest.raises(SnapshotError):
+            other.load_state(engine.state_dict())
+
+
+class TestEndToEnd:
+    def test_resumed_cycle_chaos_replays_identically(self, tmp_path):
+        """sha256 event-stream equality between an uninterrupted chaos
+        run and one checkpointed mid-plan and resumed in a fresh
+        machine (the satellite's acceptance wording)."""
+        from tests.snapshot.test_cycle_resume import _build, _digest
+        from repro.snapshot import CheckpointPolicy, load_machine
+
+        specs = (FaultSpec(kind="drop", rate=0.3),
+                 FaultSpec(kind="corrupt", rate=0.2))
+        reference = _build(specs=specs)
+        reference.run(max_cycles=20_000)
+        want = _digest(reference)
+        assert want["chaos"][0]["drops"] > 0  # the plan actually bit
+
+        path = str(tmp_path / "chaos.ckpt")
+        interrupted = _build(specs=specs)
+        interrupted.checkpoint = CheckpointPolicy(path, every=30)
+        interrupted.run(max_cycles=20_000)
+        resumed = load_machine(path)
+        resumed.run(max_cycles=20_000)
+        got = _digest(resumed)
+        assert got["fingerprint"] == want["fingerprint"]
+        assert got["chaos"] == want["chaos"]

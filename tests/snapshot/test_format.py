@@ -1,0 +1,99 @@
+"""The snapshot file format: self-describing, versioned, verified."""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import SnapshotError
+from repro.snapshot import (FORMAT_VERSION, MAGIC, read_header, read_snapshot,
+                            write_snapshot)
+
+PAYLOAD = {"now": 42, "nodes": [1, 2, 3], "nested": {"a": (1, 2)}}
+
+
+def _write(tmp_path, payload=None, **kwargs):
+    path = str(tmp_path / "snap.ckpt")
+    header = write_snapshot(path, "cycle", payload or PAYLOAD, **kwargs)
+    return path, header
+
+
+class TestRoundTrip:
+    def test_payload_survives(self, tmp_path):
+        path, _ = _write(tmp_path)
+        header, payload = read_snapshot(path)
+        assert payload == PAYLOAD
+        assert header["kind"] == "cycle"
+        assert header["version"] == FORMAT_VERSION
+
+    def test_header_is_self_describing(self, tmp_path):
+        path, written = _write(tmp_path, meta={"now": 42, "scenario": "x"})
+        header = read_header(path)
+        assert header == written
+        assert header["format"] == "repro-snapshot"
+        assert header["meta"]["scenario"] == "x"
+        assert header["payload_bytes"] > 0
+        assert len(header["sha256"]) == 64
+
+    def test_object_sharing_preserved(self, tmp_path):
+        """One pickle for the whole payload: aliased objects stay aliased."""
+        shared = [1, 2]
+        path, _ = _write(tmp_path, payload={"a": shared, "b": shared})
+        _, payload = read_snapshot(path)
+        assert payload["a"] is payload["b"]
+
+    def test_overwrite_in_place(self, tmp_path):
+        path, _ = _write(tmp_path)
+        write_snapshot(path, "cycle", {"now": 99})
+        _, payload = read_snapshot(path)
+        assert payload == {"now": 99}
+
+
+class TestValidation:
+    def test_unknown_kind_rejected_at_write(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            write_snapshot(str(tmp_path / "x.ckpt"), "nano", PAYLOAD)
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "x.ckpt")
+        with open(path, "wb") as fh:
+            fh.write(b"#something-else 1\n" + b"{}\n")
+        with pytest.raises(SnapshotError):
+            read_header(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path, _ = _write(tmp_path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        needle = b'"version": %d' % FORMAT_VERSION
+        assert needle in data
+        data = data.replace(needle, b'"version": %d' % (FORMAT_VERSION + 1))
+        with open(path, "wb") as fh:
+            fh.write(data)
+        with pytest.raises(SnapshotError) as info:
+            read_snapshot(path)
+        assert "version" in str(info.value)
+
+    def test_corrupt_payload_detected_before_unpickling(self, tmp_path):
+        path, header = _write(tmp_path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        flip = len(data) - 5
+        data = data[:flip] + bytes([data[flip] ^ 0xFF]) + data[flip + 1:]
+        with open(path, "wb") as fh:
+            fh.write(data)
+        with pytest.raises(SnapshotError) as info:
+            read_snapshot(path)
+        assert "sha256" in str(info.value) or "corrupt" in str(info.value)
+
+    def test_truncated_payload_detected(self, tmp_path):
+        path, _ = _write(tmp_path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-10])
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            read_header(str(tmp_path / "absent.ckpt"))

@@ -226,6 +226,39 @@ def test_empty_fault_plan_fast_slow_identical():
     assert _chaos_run(True, True) == _chaos_run(False, True)
 
 
+# ------------------------------------------------------------ checkpointing
+
+
+def _checkpoint_run(fast, checkpoint_path):
+    from repro.snapshot import CheckpointPolicy
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    machine = JMachine(MachineConfig(dims=(2, 2, 2), fast_path=fast),
+                       telemetry=telemetry)
+    if checkpoint_path is not None:
+        machine.checkpoint = CheckpointPolicy(checkpoint_path, every=60)
+    run_ping(machine, 0, 7, iterations=6)
+    if checkpoint_path is not None:
+        assert machine.checkpoint.saves >= 1
+    return (machine.now, _machine_counters(machine),
+            telemetry.registry.snapshot(),
+            list(telemetry.events.iter_dicts()))
+
+
+def test_checkpointing_is_bit_identical(tmp_path):
+    """The snapshot zero-cost clause: periodic checkpointing is a pure
+    read — with it enabled the run produces cycle counts, counters,
+    metrics, and telemetry events bit-identical to a run without it."""
+    path = str(tmp_path / "ping.ckpt")
+    assert _checkpoint_run(True, None) == _checkpoint_run(True, path)
+
+
+def test_checkpointing_is_bit_identical_slow(tmp_path):
+    path = str(tmp_path / "ping.ckpt")
+    assert _checkpoint_run(False, None) == _checkpoint_run(False, path)
+
+
 # ------------------------------------------------- random straight-line
 
 
