@@ -1,8 +1,8 @@
 # Convenience targets for the J-Machine reproduction.
 
 .PHONY: install test bench perfsmoke telemetry-gate chaos-smoke \
-	trace-smoke parallel-smoke snapshot-smoke check paper report \
-	examples clean
+	trace-smoke parallel-smoke snapshot-smoke live-smoke trajectory \
+	check paper report examples clean
 
 install:
 	pip install -e .
@@ -55,10 +55,23 @@ parallel-smoke:
 snapshot-smoke:
 	PYTHONPATH=src python benchmarks/snapshot_smoke.py --smoke
 
+# Live-monitoring smoke: watch one sampled LCS run headlessly, assert
+# the frame stream is monotone and the final frame equals report(),
+# then smoke the /metrics, /snapshot.json, and /stream endpoints
+# (docs/OBSERVABILITY.md §7).
+live-smoke:
+	PYTHONPATH=src python benchmarks/live_smoke.py --smoke
+
+# Render the committed perf-trajectory artifacts and gate the newest
+# point against the median of its priors (docs/PERFORMANCE.md).
+trajectory:
+	PYTHONPATH=src python -m repro.bench trajectory
+
 # The full gate: correctness, throughput, telemetry overhead, chaos,
-# causal tracing, parallel determinism, checkpoint/restore.
+# causal tracing, parallel determinism, checkpoint/restore, live
+# monitoring.
 check: test telemetry-gate chaos-smoke trace-smoke parallel-smoke \
-	snapshot-smoke
+	snapshot-smoke live-smoke
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:

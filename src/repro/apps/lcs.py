@@ -33,7 +33,7 @@ from ..jsim.sim import Context, MacroConfig, MacroSimulator
 from .base import AppResult, SequentialResult
 
 __all__ = ["LcsParams", "generate_strings", "lcs_reference",
-           "run_sequential", "run_parallel"]
+           "run_sequential", "run_parallel", "estimate_cycles"]
 
 #: Fixed entry/exit instructions of the NxtChar handler.
 FIXED_INSTR = 20
@@ -156,16 +156,42 @@ def scaling_analysis(n_nodes: int, params: LcsParams = LcsParams(),
     )
 
 
+def estimate_cycles(n_nodes: int, params: LcsParams = LcsParams(),
+                    config: Optional[MacroConfig] = None) -> int:
+    """Analytic run-length estimate from the app's cost constants.
+
+    Node 0 serializes the whole streamed string (generation + its own
+    DP chunk per character), then the last character drains through the
+    remaining pipeline stages.  Used to seed a live sampler's
+    progress/ETA denominator for quiescence-driven runs — a display
+    aid, deliberately coarse, never a limit on the simulation.
+    """
+    cfg = config if config is not None else MacroConfig()
+    cpi = cfg.cycles_per_instruction
+    chunk0 = -(-params.a_len // n_nodes)  # ceil: node 0's chunk size
+    per_char = (STARTUP_INSTR_PER_CHAR + FIXED_INSTR
+                + PER_CHAR_INSTR * chunk0)
+    drain = (n_nodes - 1) * (FIXED_INSTR + PER_CHAR_INSTR * chunk0
+                             + cfg.send_overhead_cycles)
+    return int(cpi * (params.b_len * per_char + drain))
+
+
 def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
                  config: Optional[MacroConfig] = None,
                  telemetry=None, chaos=None, reliable=None,
-                 checkpoint=None, restore_from=None) -> AppResult:
+                 checkpoint=None, restore_from=None,
+                 sampler=None) -> AppResult:
     """Run the systolic LCS on a macro-simulated machine and verify it.
 
     ``chaos`` attaches a :class:`~repro.chaos.ChaosEngine` (fault
     injection); ``reliable`` — True or a dict of
     :class:`~repro.runtime.rpc.ReliableLayer` kwargs — adds the
     retransmitting transport that lets the run survive message loss.
+
+    ``sampler`` attaches a :class:`~repro.telemetry.live.LiveSampler`
+    for in-run monitoring (read-only; see docs/OBSERVABILITY.md §7);
+    its progress/ETA denominator is seeded with
+    :func:`estimate_cycles` unless the caller pinned one.
 
     ``checkpoint`` installs a
     :class:`~repro.snapshot.CheckpointPolicy` for periodic saves;
@@ -238,6 +264,12 @@ def run_parallel(n_nodes: int, params: LcsParams = LcsParams(),
         kwargs = reliable if isinstance(reliable, dict) else {}
         layer = ReliableLayer(sim, **kwargs)
     sim.checkpoint = checkpoint
+    if sampler is not None:
+        sampler.attach(sim)
+        if sampler.run_limit is None:
+            # Quiescence-driven run: seed the progress/ETA denominator
+            # with the analytic estimate (display-only, never gates).
+            sampler.run_limit = estimate_cycles(n_nodes, params, config)
     if restore_from is not None:
         sim.restore_state(restore_from)
     else:

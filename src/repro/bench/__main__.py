@@ -9,6 +9,11 @@ Pass artifact names to run a subset, and/or ``--out FILE`` to also write
 the report to a file::
 
     python -m repro.bench fig2 table2 --out results.md
+
+``python -m repro.bench trajectory [artifacts...] [--no-gate]`` instead
+renders the committed perf-trajectory histories (BENCH_simspeed.json /
+BENCH_snapshot.json) and exits non-zero on regressions beyond the
+documented noise allowance (see :mod:`repro.bench.trajectory`).
 """
 
 from __future__ import annotations
@@ -88,6 +93,10 @@ def _ablations() -> str:
 
 if __name__ == "__main__":
     _args = sys.argv[1:]
+    if _args and _args[0] == "trajectory":
+        from .trajectory import main as _trajectory_main
+
+        sys.exit(_trajectory_main(_args[1:]))
     _out = None
     if "--out" in _args:
         index = _args.index("--out")

@@ -295,6 +295,10 @@ class MacroSimulator:
         #: Optional :class:`~repro.snapshot.CheckpointPolicy`; when set,
         #: :meth:`run` saves periodic checkpoints between events.
         self.checkpoint = None
+        #: Optional :class:`~repro.telemetry.live.LiveSampler`; when
+        #: set, :meth:`run` takes periodic read-only metric snapshots
+        #: between events, at the same horizon checkpoints use.
+        self.sampler = None
         if telemetry is not None:
             from ..telemetry.wiring import instrument_macro
 
@@ -460,6 +464,7 @@ class MacroSimulator:
         start_task = self._start_task
         ebus = self._ebus
         checkpoint = self.checkpoint
+        sampler = self.sampler
         processed = 0
         while events:
             if checkpoint is not None:
@@ -470,6 +475,13 @@ class MacroSimulator:
                 horizon = max(self.now, events[0][0])
                 if checkpoint.due(horizon):
                     checkpoint.save(self, run_limit=max_time, at=horizon)
+            if sampler is not None:
+                # Same horizon rule as checkpoints; sampling is a
+                # read-only metric snapshot, so it cannot perturb the
+                # event stream.
+                horizon = max(self.now, events[0][0])
+                if sampler.due(horizon):
+                    sampler.sample(self, horizon, run_limit=max_time)
             (time, seq, kind, dest, handler_name, args, length, priority,
              trace) = heappop(events)
             if max_time is not None and time > max_time:

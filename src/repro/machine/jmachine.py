@@ -97,6 +97,11 @@ class JMachine:
         #: the run loops save periodic checkpoints (serial: at the top of
         #: the loop; parallel: at epoch-barrier idle points).
         self.checkpoint = None
+        #: Optional :class:`~repro.telemetry.live.LiveSampler`; when
+        #: set, the run loops take periodic read-only metric snapshots
+        #: at the same safe points checkpoints use (serial: loop top;
+        #: parallel: epoch barriers).
+        self.sampler = None
         #: Attached telemetry rig (see :mod:`repro.telemetry`), or None.
         self.telemetry = telemetry
         if telemetry is not None:
@@ -405,11 +410,18 @@ class JMachine:
         # exact reference interleaving.
         batchable = until is None and watchdog is None
         checkpoint = self.checkpoint
+        sampler = self.sampler
         while self.now < limit:
             if checkpoint is not None and checkpoint.due(self.now):
                 # Saving is read-only, so a run with checkpointing
                 # enabled stays bit-identical to one without.
                 checkpoint.save(self, run_limit=limit)
+            if sampler is not None and sampler.due(self.now):
+                # Sampling is likewise read-only (a pull-source metric
+                # snapshot), so it never perturbs the run.  It does not
+                # gate quiet-window batching either: frames observe
+                # whatever cycle the loop lands on.
+                sampler.sample(self, self.now, run_limit=limit)
             if chaos is not None:
                 chaos.machine_tick(self, self.now)
             self._commit_deliveries()

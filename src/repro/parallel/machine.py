@@ -67,6 +67,10 @@ def run_parallel(machine, limit: int) -> Optional[int]:
         # Arm the clock at run start, as the serial loop's first
         # ``due`` poll would; idle jumps are too rare to spend one.
         checkpoint.due(machine.now)
+    sampler = getattr(machine, "sampler", None)
+    if sampler is not None:
+        # Same arming convention as the serial loop's first poll.
+        sampler.due(machine.now)
     # Checkpointing splits the run into segments: each pause folds the
     # attempt back into the machine at an epoch-barrier idle point (a
     # cycle the serial loop would also pass through with an empty
@@ -319,6 +323,7 @@ class _Coordinator:
                 end = now + 1
             final = max(final, self._run_epoch(now, end))
             self._poll_watchdog(end)
+            self._poll_sampler(end)
             now = end
         self._finalize(final)
         return final
@@ -425,6 +430,20 @@ class _Coordinator:
             # snapshots describe the wedged state, not the fork point.
             self._finalize(now)
             watchdog._trip(self.machine, now)
+
+    def _poll_sampler(self, now: int) -> None:
+        """Live-sampler poll at the epoch barrier (read-only).
+
+        The parent machine's node state is stale mid-attempt (the
+        forked workers own it), so the sampler folds the coordinator's
+        own exact knowledge — shard instruction/delivery absolutes and
+        the replay fabric's statistics — into a reduced frame instead
+        of snapshotting the parent registry (see
+        ``LiveSampler.sample_parallel``).
+        """
+        sampler = getattr(self.machine, "sampler", None)
+        if sampler is not None and sampler.due(now):
+            sampler.sample_parallel(self, now)
 
     @property
     def _shard_of(self) -> List[int]:

@@ -66,6 +66,7 @@ MACHINE_EXTERNAL_ATTRS = frozenset({
     "mesh",          # derived from config
     "_trace_state",  # telemetry wiring, re-installed on restore
     "checkpoint",    # the policy driving saves is host-side, not state
+    "sampler",       # live-monitoring rig, host-side (docs/OBSERVABILITY.md)
 })
 
 #: Same partition for ``MacroSimulator.__dict__``.
@@ -80,6 +81,7 @@ MACRO_EXTERNAL_ATTRS = frozenset({
     "_ebus", "_trace", "_inject_trace",  # telemetry wiring
     "post",                   # ReliableLayer's shadow, handled explicitly
     "checkpoint",             # host-side policy
+    "sampler",                # host-side live-monitoring rig
 })
 
 #: Placeholder for a reliable-transport retransmit timer in a captured

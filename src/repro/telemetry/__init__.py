@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from .events import EVENT_KINDS, EventBus
+from .live import LiveSampler, SamplePoint, SamplePolicy
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import SimReport
 from .trace import CausalGraph, TraceState
@@ -50,6 +51,9 @@ __all__ = [
     "SimReport",
     "TraceState",
     "CausalGraph",
+    "LiveSampler",
+    "SamplePolicy",
+    "SamplePoint",
 ]
 
 

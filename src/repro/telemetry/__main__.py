@@ -1,17 +1,22 @@
-"""CLI for inspecting run reports and analyzing traced event streams.
+"""CLI for inspecting run reports, live monitoring, and trace analysis.
 
 Usage::
 
     python -m repro.telemetry report run.json            # print a report
     python -m repro.telemetry report a.json b.json       # diff two runs
+    python -m repro.telemetry report run.json --json     # machine-readable
     python -m repro.telemetry report run.json --top 5 --suffix cycles
     python -m repro.telemetry critical-path events.jsonl # causal analysis
     python -m repro.telemetry critical-path events.jsonl --steps 10
+    python -m repro.telemetry serve --workload lcs       # HTTP endpoints
+    python -m repro.telemetry watch --workload lcs       # ANSI dashboard
+    python -m repro.telemetry watch --url http://host:port   # remote SSE
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -23,18 +28,103 @@ def _cmd_report(args: argparse.Namespace) -> int:
     report = SimReport.load(args.run)
     if args.baseline is not None:
         baseline = SimReport.load(args.baseline)
+        if args.json:
+            a, b = ((baseline, report) if args.swap
+                    else (report, baseline))
+            print(json.dumps({
+                "kind": "diff",
+                "a": {"path": args.run if not args.swap else args.baseline,
+                      "meta": a.meta},
+                "b": {"path": args.baseline if not args.swap else args.run,
+                      "meta": b.meta},
+                "diff": {name: list(pair)
+                         for name, pair in a.diff(b).items()},
+            }, indent=1, sort_keys=True))
+            return 0
         print(f"# diff: a={args.run}  b={args.baseline}")
         print(baseline.format_diff(report) if args.swap
               else report.format_diff(baseline))
         return 0
+    if args.json:
+        payload = report.to_dict()
+        payload["kind"] = "report"
+        if args.top:
+            payload["top"] = report.top(
+                _dotted(args.prefix, True), _dotted(args.suffix, False),
+                args.top)
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
     if args.top:
-        prefix = args.prefix if args.prefix.endswith(".") else args.prefix + "."
-        suffix = args.suffix if args.suffix.startswith(".") else "." + args.suffix
+        prefix = _dotted(args.prefix, True)
+        suffix = _dotted(args.suffix, False)
         print(f"# top {args.top} by {prefix}*{suffix}")
         for name, value in report.top(prefix, suffix, args.top):
             print(f"{value:>14}  {name}")
         return 0
     print(report.format(limit=args.limit))
+    return 0
+
+
+def _dotted(part: str, is_prefix: bool) -> str:
+    if is_prefix:
+        return part if part.endswith(".") else part + "."
+    return part if part.startswith(".") else "." + part
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .demo import start_demo
+    from .serve import LiveServer
+
+    run = start_demo(workload=args.workload, n_nodes=args.nodes,
+                     scale=args.scale, every_cycles=args.every_cycles,
+                     every_wall_s=None if args.every_cycles
+                     else args.interval)
+    server = LiveServer(run.sampler, host=args.host, port=args.port,
+                        verbose=args.verbose)
+    url = server.start_background()
+    print(f"serving {args.workload} on {url} "
+          f"(/metrics /snapshot.json /stream); Ctrl-C to stop")
+    try:
+        run.join()
+        print(f"workload finished after {run.sampler.samples} samples; "
+              f"still serving final frames")
+        if args.linger_s is not None:
+            import time
+
+            time.sleep(args.linger_s)
+        else:
+            import threading
+
+            threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .watch import watch_sampler, watch_sse
+
+    if args.url:
+        shown = watch_sse(args.url, plain=args.plain,
+                          max_frames=args.frames)
+        print(f"\nstream ended after {shown} frames")
+        return 0
+    from .demo import start_demo
+
+    run = start_demo(workload=args.workload, n_nodes=args.nodes,
+                     scale=args.scale, every_cycles=args.every_cycles,
+                     every_wall_s=None if args.every_cycles
+                     else args.interval)
+    try:
+        shown = watch_sampler(run.sampler, done=run.done,
+                              plain=args.plain, max_frames=args.frames)
+    except KeyboardInterrupt:
+        return 0
+    run.join()
+    print(f"\n{args.workload} finished; {shown} frames rendered, "
+          f"{run.sampler.samples} samples taken")
     return 0
 
 
@@ -72,7 +162,59 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="name suffix for --top (default: .cycles)")
     report.add_argument("--swap", action="store_true",
                         help="diff with the baseline as the left column")
+    report.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output (report or "
+                             "diff) for service-level tooling")
     report.set_defaults(fn=_cmd_report)
+
+    def _live_args(sub_parser):
+        sub_parser.add_argument("--workload", choices=("lcs", "ping"),
+                                default="lcs",
+                                help="demo workload to run (default: lcs)")
+        sub_parser.add_argument("--nodes", type=int, default=64,
+                                help="machine size (default: 64)")
+        sub_parser.add_argument("--scale", type=float, default=0.25,
+                                help="problem-size factor; 1.0 = the "
+                                     "paper's size (default: 0.25)")
+        sub_parser.add_argument("--interval", type=float, default=0.5,
+                                help="wall seconds between samples "
+                                     "(default: 0.5)")
+        sub_parser.add_argument("--every-cycles", type=int, default=None,
+                                help="sample every N simulated cycles "
+                                     "instead of by wall clock")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a sampled demo workload and serve /metrics, "
+             "/snapshot.json, and /stream over HTTP",
+    )
+    _live_args(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=8123,
+                       help="port (default: 8123; 0 = ephemeral)")
+    serve.add_argument("--linger-s", type=float, default=None,
+                       help="after the workload ends, keep serving this "
+                            "long then exit (default: until Ctrl-C)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log HTTP requests")
+    serve.set_defaults(fn=_cmd_serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help="ANSI terminal dashboard over a demo workload (in-process) "
+             "or a remote /stream endpoint (--url)",
+    )
+    _live_args(watch)
+    watch.add_argument("--url", default=None,
+                       help="follow a remote serve endpoint's SSE stream "
+                            "instead of running a demo workload")
+    watch.add_argument("--plain", action="store_true",
+                       help="no ANSI clearing: print frames sequentially "
+                            "(headless/CI mode)")
+    watch.add_argument("--frames", type=int, default=None,
+                       help="stop after N frames")
+    watch.set_defaults(fn=_cmd_watch)
 
     critical = sub.add_parser(
         "critical-path",

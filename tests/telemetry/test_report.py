@@ -82,3 +82,27 @@ def test_cli_top(tmp_path):
     assert result.returncode == 0, result.stderr
     assert "fast" in result.stdout
     assert "slow" not in result.stdout
+
+
+def test_cli_report_json(tmp_path):
+    path = tmp_path / "run.json"
+    SimReport({"node.0.proc.instructions": 12},
+              meta={"kind": "machine"}).save(str(path))
+    result = _cli("report", "--json", str(path))
+    assert result.returncode == 0, result.stderr
+    doc = json.loads(result.stdout)
+    assert doc["kind"] == "report"
+    assert doc["metrics"]["node.0.proc.instructions"] == 12
+    assert doc["meta"]["kind"] == "machine"
+
+
+def test_cli_report_json_diff(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    SimReport({"x": 1, "same": 2}).save(str(a))
+    SimReport({"x": 5, "same": 2}).save(str(b))
+    result = _cli("report", "--json", str(a), str(b))
+    assert result.returncode == 0, result.stderr
+    doc = json.loads(result.stdout)
+    assert doc["kind"] == "diff"
+    assert doc["diff"] == {"x": [1, 5]}
+    assert doc["a"]["path"] == str(a)

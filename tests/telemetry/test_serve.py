@@ -1,0 +1,135 @@
+"""The streaming endpoints: Prometheus mapping, /snapshot.json, SSE.
+
+docs/OBSERVABILITY.md §7 pins the name mapping — instance-identifying
+components of the dotted schema become labels, everything flattens
+under a ``jm_`` prefix — and the three-endpoint contract served by the
+stdlib-only :class:`LiveServer`.
+"""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.machine.jmachine import JMachine
+from repro.runtime.rpc import run_ping
+from repro.telemetry import LiveSampler, SamplePoint, SamplePolicy, Telemetry
+from repro.telemetry.serve import (LiveServer, iter_sse, prometheus_name,
+                                   render_prometheus)
+
+#: Prometheus text exposition 0.0.4 metric line.
+_PROM_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9.eE+-]+$')
+
+
+class TestPrometheusNames:
+    @pytest.mark.parametrize("dotted,name,labels", [
+        ("node.5.proc.busy_cycles",
+         "jm_node_proc_busy_cycles", {"node": "5"}),
+        ("node.5.queue.p0.high_water",
+         "jm_node_queue_p0_high_water", {"node": "5"}),
+        ("node.63.profile.compute",
+         "jm_node_profile_compute", {"node": "63"}),
+        ("handler.NxtChar.cycles",
+         "jm_handler_cycles", {"handler": "NxtChar"}),
+        ("net.latency.p99", "jm_net_latency_p99", {}),
+        ("machine.cycles", "jm_machine_cycles", {}),
+        ("macro.messages_sent", "jm_macro_messages_sent", {}),
+        ("live.samples", "jm_live_samples", {}),
+        ("events.dropped", "jm_events_dropped", {}),
+    ])
+    def test_documented_mapping(self, dotted, name, labels):
+        assert prometheus_name(dotted) == (name, labels)
+
+    def test_invalid_characters_become_underscores(self):
+        name, _labels = prometheus_name("net.latency.p99.9")
+        assert re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$", name)
+
+
+class TestRenderPrometheus:
+    def _point(self):
+        return SamplePoint(
+            seq=2, sim_now=1000, wall_s=0.5, source="serial",
+            metrics={"machine.cycles": 1000.0,
+                     "node.0.proc.busy_cycles": 400.0,
+                     "handler.NxtChar.cycles": 7.0},
+            derived={"cycles_per_sec": 2000.0, "progress": 0.25,
+                     "stalled": 0})
+
+    def test_every_line_is_exposition_format(self):
+        body = render_prometheus(self._point())
+        lines = [line for line in body.splitlines() if line]
+        assert lines
+        for line in lines:
+            if line.startswith("#"):
+                assert line.startswith("# TYPE jm_")
+                assert line.endswith(" gauge")
+            else:
+                assert _PROM_LINE.match(line), line
+
+    def test_labels_and_derived_series_present(self):
+        body = render_prometheus(self._point())
+        assert 'jm_node_proc_busy_cycles{node="0"} 400' in body
+        assert 'jm_handler_cycles{handler="NxtChar"} 7' in body
+        assert "jm_live_cycles_per_sec 2000" in body
+        assert "jm_live_sim_now 1000" in body
+        assert "jm_live_seq 2" in body
+
+    def test_no_frames_yet_renders_comment_only(self):
+        body = render_prometheus(None)
+        assert all(line.startswith("#")
+                   for line in body.splitlines() if line)
+
+
+class TestLiveServer:
+    @pytest.fixture()
+    def sampler(self):
+        telemetry = Telemetry()
+        machine = JMachine(MachineConfig(dims=(2, 2, 1)),
+                           telemetry=telemetry)
+        rig = LiveSampler(SamplePolicy(every_cycles=50)).attach(machine)
+        run_ping(machine, 0, 3, iterations=4)
+        assert rig.samples >= 2
+        return rig
+
+    @pytest.fixture()
+    def server(self, sampler):
+        server = LiveServer(sampler)
+        server.start_background()
+        yield server
+        server.stop()
+
+    def test_metrics_endpoint_parses(self, server):
+        body = urllib.request.urlopen(server.url + "/metrics",
+                                      timeout=10).read().decode()
+        lines = [line for line in body.splitlines()
+                 if line and not line.startswith("#")]
+        assert lines
+        for line in lines:
+            assert _PROM_LINE.match(line), line
+        assert "jm_machine_cycles" in body
+        assert "jm_live_samples" in body
+
+    def test_snapshot_endpoint_serves_latest_frame(self, server, sampler):
+        snap = json.loads(urllib.request.urlopen(
+            server.url + "/snapshot.json", timeout=10).read())
+        assert snap == sampler.latest().to_dict()
+
+    def test_stream_replays_backlog_in_order(self, server, sampler):
+        frames = []
+        for frame in iter_sse(server.url + "/stream", timeout=10):
+            frames.append(frame)
+            if len(frames) >= 2:
+                break
+        assert len(frames) == 2
+        assert frames[0]["seq"] + 1 == frames[1]["seq"]
+        assert frames[0] == sampler.points[0].to_dict()
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+        assert err.value.code == 404
