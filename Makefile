@@ -1,8 +1,8 @@
 # Convenience targets for the J-Machine reproduction.
 
 .PHONY: install test bench perfsmoke telemetry-gate chaos-smoke \
-	trace-smoke parallel-smoke snapshot-smoke live-smoke trajectory \
-	check paper report examples clean
+	trace-smoke parallel-smoke snapshot-smoke live-smoke service-smoke \
+	trajectory check paper report examples clean
 
 install:
 	pip install -e .
@@ -62,6 +62,15 @@ snapshot-smoke:
 live-smoke:
 	PYTHONPATH=src python benchmarks/live_smoke.py --smoke
 
+# Fault-tolerant service smoke: boot the job server + worker fleet,
+# submit a small LCS grid, kill -9 a worker mid-job and assert the job
+# recovers from its checkpoint, drain, then resubmit the grid to a
+# fresh service and assert 100% content-addressed cache hits with
+# equal fingerprints; no orphaned processes or tmp files afterwards
+# (docs/SERVICE.md).
+service-smoke:
+	PYTHONPATH=src python benchmarks/service_smoke.py --smoke
+
 # Render the committed perf-trajectory artifacts and gate the newest
 # point against the median of its priors (docs/PERFORMANCE.md).
 trajectory:
@@ -69,9 +78,9 @@ trajectory:
 
 # The full gate: correctness, throughput, telemetry overhead, chaos,
 # causal tracing, parallel determinism, checkpoint/restore, live
-# monitoring.
+# monitoring, fault-tolerant service.
 check: test telemetry-gate chaos-smoke trace-smoke parallel-smoke \
-	snapshot-smoke live-smoke
+	snapshot-smoke live-smoke service-smoke
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:

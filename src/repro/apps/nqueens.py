@@ -110,6 +110,7 @@ def run_parallel(
     n_nodes: int, params: NQueensParams = NQueensParams(),
     config: Optional[MacroConfig] = None,
     telemetry=None, chaos=None, reliable=None,
+    checkpoint=None, restore_from=None, sampler=None,
 ) -> AppResult:
     """Breadth-first expansion, static spread, depth-first tasks.
 
@@ -118,6 +119,11 @@ def run_parallel(
     :class:`~repro.runtime.rpc.ReliableLayer` kwargs — adds the
     retransmitting transport (the result collection's ``outstanding``
     countdown needs its exactly-once dispatch to survive message loss).
+
+    ``checkpoint``/``restore_from``/``sampler`` work exactly as in
+    :func:`repro.apps.lcs.run_parallel`: periodic saves, resume from a
+    save (the same app setup must be passed — macro restore loads state
+    *into* a prepared simulator), and read-only in-run sampling.
     """
     if n_nodes < 1:
         raise ConfigurationError("need at least one node")
@@ -180,7 +186,13 @@ def run_parallel(
 
         kwargs = reliable if isinstance(reliable, dict) else {}
         layer = ReliableLayer(sim, **kwargs)
-    sim.inject(0, "NQStart")
+    sim.checkpoint = checkpoint
+    if sampler is not None:
+        sampler.attach(sim)
+    if restore_from is not None:
+        sim.restore_state(restore_from)
+    else:
+        sim.inject(0, "NQStart")
     cycles = sim.run()
 
     solutions = master_state["solutions"]

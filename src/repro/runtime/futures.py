@@ -111,13 +111,22 @@ class FuturePool:
     """
 
     def __init__(self, sim, timeout: int = 200_000, max_retries: int = 3,
-                 backoff: float = 2.0) -> None:
+                 backoff: float = 2.0, jitter: float = 0.0,
+                 jitter_seed: int = 0) -> None:
         if timeout <= 0:
             raise ConfigurationError("future-pool timeout must be > 0")
+        if jitter < 0.0:
+            raise ConfigurationError("future-pool jitter must be >= 0")
         self.sim = sim
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        #: Seeded deadline jitter (see :func:`~repro.runtime.rpc
+        #: .backoff_delay`): requests that time out together re-arm on
+        #: spread deadlines instead of reissuing in lockstep, and the
+        #: spread replays bit-identically for a given ``jitter_seed``.
+        self.jitter = jitter
+        self.jitter_seed = jitter_seed
         self.futures: Dict[Any, MacroFuture] = {}
         self.reissues = 0
 
@@ -155,7 +164,11 @@ class FuturePool:
 
     def _arm(self, future: MacroFuture, kickoff, issued_at: int,
              attempt: int) -> None:
-        deadline = issued_at + int(self.timeout * (self.backoff ** attempt))
+        from .rpc import backoff_delay
+
+        deadline = issued_at + backoff_delay(
+            self.timeout, self.backoff, attempt,
+            jitter=self.jitter, seed=self.jitter_seed, key=future.fid)
         self.sim.schedule_call(
             deadline,
             lambda now: self._on_deadline(future, kickoff, now, attempt))

@@ -20,6 +20,7 @@ the Imem/Emem variants.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -30,7 +31,26 @@ from ..core.word import Word
 from ..machine.jmachine import JMachine
 
 __all__ = ["PingResult", "run_ping", "run_remote_read", "RPC_SOURCE",
-           "ReliableLayer"]
+           "ReliableLayer", "backoff_delay"]
+
+
+def backoff_delay(base: float, backoff: float, attempt: int,
+                  jitter: float = 0.0, seed: int = 0, key=0) -> int:
+    """Exponential backoff with seeded, deterministic jitter.
+
+    Returns ``base * backoff**attempt`` scaled by a factor drawn
+    uniformly from ``[1, 1 + jitter)``.  The draw is a pure function of
+    ``(seed, key, attempt)`` — seeded through the string form, which
+    hashes stably across processes — so concurrent timeouts with
+    distinct keys de-synchronize while every replay of the same run
+    produces the same schedule.  ``jitter=0`` skips the RNG entirely
+    and reproduces the exact pre-jitter delays.
+    """
+    delay = base * (backoff ** attempt)
+    if jitter:
+        rng = random.Random(f"{seed}:{key!r}:{attempt}")
+        delay *= 1.0 + jitter * rng.random()
+    return int(delay)
 
 #: Globals segment layout (offsets into the A0 segment).
 _G_COUNT = 0      # iterations remaining
@@ -157,7 +177,13 @@ class ReliableLayer:
     * the sender keeps unacked envelopes in flight, retransmitting on a
       timer with **exponential backoff** (``timeout * backoff**attempt``
       cycles) until acked or ``max_retries`` is exhausted, at which point
-      it raises :class:`~repro.core.errors.DeliveryError`.
+      it raises :class:`~repro.core.errors.DeliveryError`.  ``jitter``
+      spreads each delay by a *seeded, per-(seq, attempt)* factor in
+      ``[1, 1 + jitter)`` so simultaneous timeouts — e.g. a link outage
+      dropping a whole wavefront of messages at once — do not retransmit
+      in lockstep and re-collide; the draw is a pure function of
+      ``(jitter_seed, seq, attempt)``, so replays stay bit-identical
+      (the determinism contract ``make chaos-smoke`` enforces).
 
     One modelling simplification: streams are keyed by source node only,
     so priority-1 traffic from a node is serialized with its priority-0
@@ -188,15 +214,20 @@ class ReliableLayer:
     SEQ_CHECK_INSTRUCTIONS = 4
 
     def __init__(self, sim, timeout: int = 10_000, max_retries: int = 10,
-                 backoff: float = 2.0) -> None:
+                 backoff: float = 2.0, jitter: float = 0.0,
+                 jitter_seed: int = 0) -> None:
         if timeout <= 0:
             raise ConfigurationError("reliable-layer timeout must be > 0")
         if backoff < 1.0:
             raise ConfigurationError("backoff multiplier must be >= 1")
+        if jitter < 0.0:
+            raise ConfigurationError("backoff jitter must be >= 0")
         self.sim = sim
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        self.jitter = jitter
+        self.jitter_seed = jitter_seed
         #: seq -> (source, dest, handler, args, length, priority, attempts)
         self._pending: Dict[int, Tuple] = {}
         self._next_seq = 0
@@ -247,7 +278,9 @@ class ReliableLayer:
         self._arm_timer(seq, send_time, 0)
 
     def _arm_timer(self, seq: int, sent_at: int, attempt: int) -> None:
-        delay = int(self.timeout * (self.backoff ** attempt))
+        delay = backoff_delay(self.timeout, self.backoff, attempt,
+                              jitter=self.jitter, seed=self.jitter_seed,
+                              key=seq)
         self.sim.schedule_call(sent_at + delay, _RetryTimer(self, seq))
 
     def _on_timeout(self, seq: int, now: int) -> None:
@@ -361,6 +394,8 @@ class ReliableLayer:
             "timeout": self.timeout,
             "max_retries": self.max_retries,
             "backoff": self.backoff,
+            "jitter": self.jitter,
+            "jitter_seed": self.jitter_seed,
             "pending": dict(self._pending),
             "next_seq": self._next_seq,
             "stream_next": dict(self._stream_next),
@@ -382,6 +417,9 @@ class ReliableLayer:
         self.timeout = state["timeout"]
         self.max_retries = state["max_retries"]
         self.backoff = state["backoff"]
+        # Pre-jitter snapshots (format additive within a major version).
+        self.jitter = state.get("jitter", 0.0)
+        self.jitter_seed = state.get("jitter_seed", 0)
         self._pending = dict(state["pending"])
         self._next_seq = state["next_seq"]
         self._stream_next = dict(state["stream_next"])

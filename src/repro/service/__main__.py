@@ -1,0 +1,244 @@
+"""CLI for the fault-tolerant simulation service.
+
+Usage::
+
+    python -m repro.service serve --workers 2 --port 8124
+    python -m repro.service submit --url http://127.0.0.1:8124 \\
+        --app lcs --nodes 8 --param scale=0.05
+    python -m repro.service status --url http://127.0.0.1:8124
+    python -m repro.service drain  --url http://127.0.0.1:8124
+
+``serve`` runs the supervisor + worker fleet + HTTP API in the
+foreground and drains cleanly on SIGTERM/SIGINT (finish leased jobs,
+checkpoint, stop workers, release the port).  ``submit``/``status``/
+``drain`` are thin stdlib HTTP clients for a running server.
+
+There is also a hidden ``worker`` subcommand — the supervisor's spawn
+target, never run by hand (its stdin/stdout are a JSON-lines protocol,
+see :mod:`repro.service.worker`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+
+def _post(url: str, path: str, body: Dict[str, Any],
+          timeout: float = 120.0) -> Dict[str, Any]:
+    request = urllib.request.Request(
+        url.rstrip("/") + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return json.loads(exc.read().decode("utf-8"))
+
+
+def _get(url: str, path: str, timeout: float = 10.0) -> Dict[str, Any]:
+    with urllib.request.urlopen(url.rstrip("/") + path,
+                                timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _parse_params(pairs: List[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param wants name=value, got {pair!r}")
+        name, value = pair.split("=", 1)
+        try:
+            params[name] = json.loads(value)
+        except ValueError:
+            params[name] = value
+    return params
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from ..telemetry.live import LiveSampler
+    from .http import ServiceServer
+    from .supervisor import ServiceConfig, Supervisor
+
+    config = ServiceConfig(
+        workdir=args.workdir, workers=args.workers,
+        queue_limit=args.queue_limit, max_retries=args.max_retries,
+        heartbeat_s=args.heartbeat_s, lease_timeout_s=args.lease_timeout_s,
+        progress_window_s=args.progress_window_s, seed=args.seed)
+    supervisor = Supervisor(config, sampler=LiveSampler(),
+                            verbose=args.verbose).start()
+    server = ServiceServer(supervisor, host=args.host, port=args.port,
+                           verbose=args.verbose)
+    # Same single-exit-path discipline as ``repro.telemetry serve``:
+    # both signals set one event; the drain below finishes leased jobs
+    # (checkpoints mean an interrupted retry resumes, not restarts),
+    # stops the workers, closes SSE streams, and releases the port.
+    # Handlers go in before the URL is announced: a client that signals
+    # the moment it sees the URL must never hit the default handlers.
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(
+            signum, lambda _signum, _frame: stop.set())
+    url = server.start_background()
+    print(f"service: {args.workers} workers on {url} "
+          f"(/submit /status /jobs /drain + /metrics /snapshot.json "
+          f"/stream); Ctrl-C or SIGTERM to drain and stop", flush=True)
+    try:
+        # A POST /drain stops the supervisor from a handler thread; the
+        # process must follow it down and release the port, exactly as
+        # if it had been signalled (docs/SERVICE.md §6).
+        while not stop.is_set() and not supervisor.stopped.is_set():
+            stop.wait(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        report = supervisor.drain(timeout_s=args.drain_timeout_s)
+        server.stop()
+        print(f"service: drained={report['drained']} "
+              f"counts={report['counts']}; shut down cleanly", flush=True)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .worker import worker_main
+
+    return worker_main(args.workdir, heartbeat_s=args.heartbeat_s)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec: Dict[str, Any] = {"app": args.app, "n_nodes": args.nodes,
+                            "params": _parse_params(args.param)}
+    if args.plan is not None:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            spec["plan"] = json.load(fh)
+    if args.reliable:
+        spec["reliable"] = True
+    record = _post(args.url, "/submit", spec)
+    print(json.dumps(record, indent=1, sort_keys=True))
+    if record.get("state") == "shed":
+        return 1
+    if not args.wait:
+        return 0
+    import time
+
+    digest = record["digest"]
+    deadline = time.monotonic() + args.wait
+    while time.monotonic() < deadline:
+        record = _get(args.url, f"/jobs/{digest}")
+        if record["state"] in ("done", "failed"):
+            print(json.dumps(record, indent=1, sort_keys=True))
+            return 0 if record["state"] == "done" else 1
+        time.sleep(0.2)
+    print(f"timed out waiting for {digest}", file=sys.stderr)
+    return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    print(json.dumps(_get(args.url, "/status"), indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    report = _post(args.url, "/drain", {"timeout_s": args.timeout_s},
+                   timeout=args.timeout_s + 30.0)
+    print(json.dumps(report, indent=1, sort_keys=True))
+    return 0 if report.get("drained") else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Fault-tolerant simulation job service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the supervisor, worker fleet, and HTTP API")
+    serve.add_argument("--workdir", default="service-work",
+                       help="state directory: cache/, ckpt/, logs/ "
+                            "(default: ./service-work)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="max queued+leased jobs before submissions "
+                            "are shed with 503 (default: 32)")
+    serve.add_argument("--max-retries", type=int, default=3,
+                       help="requeues per job before it fails "
+                            "(default: 3)")
+    serve.add_argument("--heartbeat-s", type=float, default=0.25,
+                       help="worker heartbeat interval (default: 0.25)")
+    serve.add_argument("--lease-timeout-s", type=float, default=2.0,
+                       help="heartbeat silence that expires a lease "
+                            "(default: 2.0)")
+    serve.add_argument("--progress-window-s", type=float, default=10.0,
+                       help="wall seconds without simulated progress "
+                            "before a worker counts as hung "
+                            "(default: 10)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="backoff jitter seed (default: 0)")
+    serve.add_argument("--drain-timeout-s", type=float, default=60.0,
+                       help="max wait for leased jobs on shutdown "
+                            "(default: 60)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=8124,
+                       help="port (default: 8124; 0 = ephemeral)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log scheduling decisions and HTTP requests")
+    serve.set_defaults(fn=_cmd_serve)
+
+    worker = sub.add_parser("worker")  # hidden: the spawn target
+    worker.add_argument("--workdir", required=True)
+    worker.add_argument("--heartbeat-s", type=float, default=0.25)
+    worker.set_defaults(fn=_cmd_worker)
+
+    def _client_args(sub_parser):
+        sub_parser.add_argument("--url", default="http://127.0.0.1:8124",
+                                help="service base URL "
+                                     "(default: http://127.0.0.1:8124)")
+
+    submit = sub.add_parser("submit", help="submit one job")
+    _client_args(submit)
+    submit.add_argument("--app", required=True,
+                        choices=("lcs", "nqueens", "ping"))
+    submit.add_argument("--nodes", type=int, default=8,
+                        help="machine size (default: 8)")
+    submit.add_argument("--param", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="app parameter, repeatable (e.g. scale=0.05)")
+    submit.add_argument("--plan", default=None,
+                        help="fault-plan JSON file to run the job under")
+    submit.add_argument("--reliable", action="store_true",
+                        help="run with the reliable transport")
+    submit.add_argument("--wait", type=float, default=0.0, metavar="S",
+                        help="poll until done/failed, up to S seconds")
+    submit.set_defaults(fn=_cmd_submit)
+
+    status = sub.add_parser("status", help="print service status JSON")
+    _client_args(status)
+    status.set_defaults(fn=_cmd_status)
+
+    drain = sub.add_parser(
+        "drain", help="finish in-flight jobs and stop the workers")
+    _client_args(drain)
+    drain.add_argument("--timeout-s", type=float, default=60.0,
+                       help="max wait for in-flight jobs (default: 60)")
+    drain.set_defaults(fn=_cmd_drain)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""The content-addressed result cache: one JSON file per job digest.
+
+Soundness rests on the determinism contract: a
+:class:`~repro.service.spec.JobSpec` digest names *the run itself* —
+same spec, same seeded fault plan, same telemetry event stream (the
+sha256 fingerprint ``make chaos-smoke`` pins) — so a cached result is
+indistinguishable from re-executing the job.  Execution hints
+(checkpoint/sampling cadence) are excluded from the digest because
+both subsystems are bit-identical-when-enabled; docs/SERVICE.md
+spells out the full argument.
+
+Entries are written atomically (tmp sibling + ``os.replace``, the same
+recipe as checkpoint files) so a crashed writer can never leave a
+half-written entry that later reads as a corrupt hit; an unreadable or
+torn entry is treated as a miss and overwritten by the next completion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Directory-backed ``digest -> result dict`` map with hit counters."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, digest: str) -> str:
+        return os.path.join(self.root, f"{digest}.json")
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached result for ``digest``, or None (counted) on miss.
+
+        A corrupt or truncated entry is a miss, not an error: the cache
+        is a pure accelerator, and the job can always be re-run.
+        """
+        try:
+            with open(self.path(digest), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            result = entry["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, digest: str, result: Dict[str, Any],
+            spec: Optional[Dict[str, Any]] = None) -> str:
+        """Store ``result`` under ``digest`` atomically; returns the path."""
+        path = self.path(digest)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        entry = {"digest": digest, "result": result,
+                 "cached_at": time.time()}
+        if spec is not None:
+            entry["spec"] = spec
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.root)
+                       if name.endswith(".json"))
+        except OSError:
+            return 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self)}

@@ -1,0 +1,122 @@
+"""The service's HTTP face: job endpoints layered over the live ones.
+
+:class:`ServiceServer` extends the telemetry
+:class:`~repro.telemetry.serve.LiveServer`, so a running service
+exposes **both** APIs on one port:
+
+inherited (fleet-wide live telemetry, relayed from worker heartbeats)
+    ``GET /metrics``, ``GET /snapshot.json``, ``GET /stream``
+
+service
+    ``GET  /status``          — queue counts, leases, cache, workers
+    ``GET  /jobs``            — every job record, newest first
+    ``GET  /jobs/<digest>``   — one job (state, attempts, result)
+    ``POST /submit``          — body: a JobSpec dict; 200 on admit /
+    dedup / cache hit, **503 + Retry-After** when the bounded queue
+    sheds (backpressure is explicit, not an ever-growing backlog),
+    400 on a malformed spec
+    ``POST /drain``           — finish in-flight work, stop workers;
+    blocks until drained (body ``{"timeout_s": ...}`` optional)
+
+Everything is stdlib ``http.server``; handler threads only touch the
+supervisor through its lock-guarded public methods.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..core.errors import SimulationError
+from ..telemetry.serve import LiveServer, _Handler
+from .spec import JobSpec
+from .supervisor import Supervisor
+
+__all__ = ["ServiceServer"]
+
+
+class _ServiceHandler(_Handler):
+    """Service routes first, then the inherited live-telemetry routes."""
+
+    server: "ServiceServer"
+
+    def _send_json(self, status: int, payload: Dict[str, Any],
+                   retry_after: Optional[float] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        supervisor = self.server.supervisor
+        path = self.path.split("?", 1)[0]
+        if path == "/status":
+            self._send_json(200, supervisor.status())
+        elif path == "/jobs":
+            with supervisor.lock:
+                jobs = [job.to_dict()
+                        for job in supervisor.queue.jobs.values()]
+            jobs.reverse()
+            self._send_json(200, {"jobs": jobs})
+        elif path.startswith("/jobs/"):
+            digest = path[len("/jobs/"):]
+            with supervisor.lock:
+                job = supervisor.queue.jobs.get(digest)
+                payload = job.to_dict() if job is not None else None
+            if payload is None:
+                self._send_json(404, {"error": f"no job {digest!r}"})
+            else:
+                self._send_json(200, payload)
+        else:
+            super().do_GET()
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        supervisor = self.server.supervisor
+        path = self.path.split("?", 1)[0]
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw.strip() else {}
+        except ValueError:
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return
+        if path == "/submit":
+            try:
+                spec = JobSpec.from_dict(body)
+            except (SimulationError, TypeError) as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            record = supervisor.submit(spec)
+            if record.get("state") == "shed":
+                self._send_json(503, record,
+                                retry_after=supervisor.config.backoff_s)
+            else:
+                self._send_json(200, record)
+        elif path == "/drain":
+            timeout_s = float(body.get("timeout_s", 60.0))
+            report = supervisor.drain(timeout_s=timeout_s)
+            self._send_json(200, report)
+            # The handler keeps serving status/jobs after a drain; the
+            # process owner decides when to stop the listener itself.
+        else:
+            self._send_json(404, {"error": f"no POST route {path!r}"})
+
+
+class ServiceServer(LiveServer):
+    """One port serving both the job API and fleet live telemetry."""
+
+    def __init__(self, supervisor: Supervisor, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> None:
+        self.supervisor = supervisor
+        sampler = supervisor.sampler
+        if sampler is None:
+            from ..telemetry.live import LiveSampler
+
+            sampler = LiveSampler()
+            supervisor.sampler = sampler
+        super().__init__(sampler, host=host, port=port, verbose=verbose,
+                         handler_cls=_ServiceHandler)

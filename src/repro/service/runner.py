@@ -1,0 +1,154 @@
+"""Execute one :class:`~repro.service.spec.JobSpec` — the worker's core.
+
+Shared between the worker process and tests (which call it in-process
+to compute undisturbed reference results the recovery assertions
+compare against).  The contract:
+
+* **Deterministic.**  The result carries the sha256 telemetry
+  event-stream fingerprint; the same spec always produces the same
+  fingerprint — that is what makes the content-addressed cache sound.
+* **Resumable.**  When a checkpoint file for the job exists (a previous
+  attempt died mid-run), execution resumes from it instead of starting
+  cold, and the resumed stream is digest-equal to an undisturbed run
+  (PR 7's restore contract).  ``resumed_from`` in the result records
+  the checkpoint's capture cycle so callers can verify a retry
+  actually replayed less than the whole run.
+* **Self-cleaning.**  A successful run deletes its checkpoint; arming
+  the checkpoint policy sweeps any ``*.tmp.<pid>`` orphans a killed
+  writer left for this job's path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from ..chaos.harness import event_fingerprint
+from ..snapshot import CheckpointPolicy, read_header
+from ..telemetry import Telemetry
+from .spec import JobSpec
+
+__all__ = ["execute_job", "checkpoint_path"]
+
+
+def checkpoint_path(workdir: str, digest: str) -> str:
+    """Where a job's (single, overwrite-in-place) checkpoint lives."""
+    return os.path.join(workdir, "ckpt", f"{digest}.ckpt")
+
+
+def _chaos_engine(spec: JobSpec):
+    if spec.plan is None:
+        return None
+    from ..chaos.engine import ChaosEngine
+    from ..chaos.plan import FaultPlan
+
+    return ChaosEngine(FaultPlan.from_dict(spec.plan))
+
+
+def _resume_point(ckpt: Optional[str]) -> Optional[int]:
+    """The capture cycle of an existing checkpoint, else None."""
+    if ckpt is None or not os.path.exists(ckpt):
+        return None
+    return int(read_header(ckpt)["meta"]["now"])
+
+
+def execute_job(spec: JobSpec, ckpt_path: Optional[str] = None,
+                sampler=None) -> Dict[str, Any]:
+    """Run ``spec`` to completion; returns the (cacheable) result dict.
+
+    ``ckpt_path`` enables periodic checkpoints there and resumption
+    from it when it already exists.  ``sampler`` is an optional
+    :class:`~repro.telemetry.live.LiveSampler` for in-run heartbeat
+    frames (read-only; never changes the result).
+    """
+    resumed_from = _resume_point(ckpt_path)
+    policy = None
+    if ckpt_path is not None:
+        os.makedirs(os.path.dirname(ckpt_path), exist_ok=True)
+        policy = CheckpointPolicy(ckpt_path, every=spec.checkpoint_every,
+                                  meta={"job": spec.digest})
+    telemetry = Telemetry()
+    if spec.app in ("lcs", "nqueens"):
+        result = _run_macro(spec, telemetry, policy,
+                            resumed_from, ckpt_path, sampler)
+    else:
+        result = _run_ping(spec, telemetry, policy,
+                           resumed_from, ckpt_path, sampler)
+    result.update({
+        "digest": spec.digest,
+        "app": spec.app,
+        "n_nodes": spec.n_nodes,
+        "resumed_from": resumed_from or 0,
+        "checkpoint_saves": policy.saves if policy is not None else 0,
+    })
+    if ckpt_path is not None and os.path.exists(ckpt_path):
+        # The job is done; its recovery point is garbage now.
+        os.unlink(ckpt_path)
+    return result
+
+
+def _run_macro(spec: JobSpec, telemetry, policy, resumed_from,
+               ckpt_path, sampler) -> Dict[str, Any]:
+    chaos = _chaos_engine(spec)
+    restore = ckpt_path if resumed_from is not None else None
+    # spec.reliable normalizes "default transport" to {} — run_parallel
+    # spells that True, and no-transport None.
+    reliable = (spec.reliable or True) if spec.reliable is not False else None
+    if spec.app == "lcs":
+        from ..apps.lcs import LcsParams, run_parallel
+
+        params = LcsParams(seed=spec.params["seed"]).scaled(
+            spec.params["scale"])
+        app_result = run_parallel(spec.n_nodes, params,
+                                  telemetry=telemetry, chaos=chaos,
+                                  reliable=reliable,
+                                  checkpoint=policy,
+                                  restore_from=restore, sampler=sampler)
+    else:
+        from ..apps.nqueens import NQueensParams, run_parallel
+
+        params = NQueensParams(n=spec.params["n"],
+                               tasks_per_node=spec.params["tasks_per_node"])
+        app_result = run_parallel(spec.n_nodes, params,
+                                  telemetry=telemetry, chaos=chaos,
+                                  reliable=reliable,
+                                  checkpoint=policy,
+                                  restore_from=restore, sampler=sampler)
+    out: Dict[str, Any] = {
+        "cycles": app_result.cycles,
+        "output": app_result.output,
+        "fingerprint": event_fingerprint(telemetry.events),
+        "n_events": len(telemetry.events),
+    }
+    if "reliable" in app_result.extra:
+        out["reliable"] = app_result.extra["reliable"]
+    if chaos is not None:
+        out["chaos"] = chaos.summary()
+    return out
+
+
+def _run_ping(spec: JobSpec, telemetry, policy, resumed_from,
+              ckpt_path, sampler) -> Dict[str, Any]:
+    from ..machine.jmachine import JMachine
+
+    if resumed_from is not None:
+        machine = JMachine.restore(ckpt_path)
+        machine.checkpoint = policy  # keep saving on the resumed leg
+        if sampler is not None:
+            sampler.attach(machine)
+        machine.run_until_quiescent()
+    else:
+        machine = JMachine.build(spec.n_nodes, telemetry=telemetry)
+        machine.checkpoint = policy
+        if sampler is not None:
+            sampler.attach(machine)
+        from ..runtime.rpc import run_ping
+
+        run_ping(machine, 0, spec.n_nodes - 1,
+                 iterations=spec.params["iterations"], stop="quiescent")
+    return {
+        "cycles": machine.now,
+        "output": {"final_cycle": machine.now},
+        "fingerprint": event_fingerprint(machine.telemetry.events),
+        "n_events": len(machine.telemetry.events),
+    }

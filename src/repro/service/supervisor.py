@@ -1,0 +1,386 @@
+"""The supervisor: worker fleet, lease watchdog, cache, and scheduler.
+
+The supervisor owns every moving part of the service::
+
+    submit ──cache hit──> done (free)
+       │
+       └──> JobQueue ──scheduler──> worker lease ──result──> cache + done
+                 ^                        │
+                 └── requeue (backoff) ── lease expired / worker died
+
+Failure handling has exactly **one** requeue path: whatever goes wrong
+with a worker — crash, ``kill -9``, hung loop, lease expiry — ends
+with that worker's pipe reaching EOF (expiry *kills* the worker first),
+and the EOF handler requeues the worker's leased job and respawns a
+replacement.  Watchdog revocation and natural death therefore cannot
+double-requeue the same job, with no extra bookkeeping.
+
+Threading: one lock guards the queue, the lease table, and the worker
+map.  Each worker gets a reader thread (blocking line reads from its
+pipe); a scheduler thread ticks every ``tick_s`` to expire leases and
+dispatch ready jobs.  Worker heartbeat frames are relayed into the
+service's own :class:`~repro.telemetry.live.LiveSampler`, so the
+existing ``/metrics`` / ``/snapshot.json`` / ``/stream`` endpoints
+observe the whole fleet unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .cache import ResultCache
+from .lease import LeaseTable
+from .queue import Job, JobQueue
+from .runner import checkpoint_path
+from .spec import JobSpec
+
+__all__ = ["ServiceConfig", "Supervisor"]
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the supervisor needs to run a fleet."""
+
+    workdir: str
+    workers: int = 2
+    queue_limit: int = 32
+    max_retries: int = 3
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    heartbeat_s: float = 0.25
+    lease_timeout_s: float = 2.0
+    #: Wall seconds a worker may heartbeat without advancing its
+    #: simulated clock before it is declared hung and revoked.
+    progress_window_s: float = 10.0
+    tick_s: float = 0.05
+    #: Defaults applied to specs submitted without explicit hints.
+    checkpoint_every: int = 500_000
+    sample_every: int = 25_000
+    extra_env: Dict[str, str] = field(default_factory=dict)
+
+
+class WorkerHandle:
+    """One supervised worker process and its reader thread."""
+
+    def __init__(self, wid: int, proc: subprocess.Popen,
+                 log_path: str) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.log_path = log_path
+        self.ready = False
+        self.reader: Optional[threading.Thread] = None
+        #: Last relayed frame identity (job digest, frame seq) — two
+        #: heartbeats between samples carry the same frame; relay once.
+        self.last_frame: Optional[tuple] = None
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def send(self, message: Dict[str, Any]) -> None:
+        import json
+
+        self.proc.stdin.write(json.dumps(message,
+                                         separators=(",", ":")) + "\n")
+        self.proc.stdin.flush()
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"wid": self.wid, "pid": self.pid, "ready": self.ready,
+                "alive": self.proc.poll() is None}
+
+
+class Supervisor:
+    """Owns the queue, cache, leases, and the worker fleet."""
+
+    def __init__(self, config: ServiceConfig, sampler=None,
+                 verbose: bool = False) -> None:
+        self.config = config
+        self.verbose = verbose
+        os.makedirs(config.workdir, exist_ok=True)
+        self.cache = ResultCache(os.path.join(config.workdir, "cache"))
+        self.queue = JobQueue(limit=config.queue_limit,
+                              max_retries=config.max_retries,
+                              backoff_s=config.backoff_s,
+                              backoff_factor=config.backoff_factor,
+                              jitter=config.jitter, seed=config.seed)
+        self.leases = LeaseTable(timeout_s=config.lease_timeout_s,
+                                 progress_window_s=config.progress_window_s)
+        self.sampler = sampler
+        self.workers: Dict[int, WorkerHandle] = {}
+        self.lock = threading.RLock()
+        self.draining = False
+        self.stopped = threading.Event()
+        self.respawns = 0
+        self._next_wid = 0
+        self._scheduler: Optional[threading.Thread] = None
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Supervisor":
+        with self.lock:
+            for _ in range(self.config.workers):
+                self._spawn_locked()
+        self._scheduler = threading.Thread(target=self._tick_loop,
+                                           daemon=True,
+                                           name="service-scheduler")
+        self._scheduler.start()
+        return self
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"service: {message}", file=sys.stderr, flush=True)
+
+    def _spawn_locked(self) -> WorkerHandle:
+        wid = self._next_wid
+        self._next_wid += 1
+        logs = os.path.join(self.config.workdir, "logs")
+        os.makedirs(logs, exist_ok=True)
+        log_path = os.path.join(logs, f"worker-{wid}.log")
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        env.update(self.config.extra_env)
+        log = open(log_path, "a", encoding="utf-8")
+        try:
+            proc = subprocess.Popen(
+                [sys.executable, "-u", "-m", "repro.service", "worker",
+                 "--workdir", self.config.workdir,
+                 "--heartbeat-s", str(self.config.heartbeat_s)],
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                stderr=log, text=True, bufsize=1, env=env)
+        finally:
+            log.close()  # the child holds its own fd now
+        handle = WorkerHandle(wid, proc, log_path)
+        self.workers[wid] = handle
+        handle.reader = threading.Thread(target=self._read_loop,
+                                         args=(handle,), daemon=True,
+                                         name=f"service-reader-{wid}")
+        handle.reader.start()
+        self._log(f"worker {wid} spawned (pid {proc.pid})")
+        return handle
+
+    # -- worker pipe ---------------------------------------------------------
+
+    def _read_loop(self, handle: WorkerHandle) -> None:
+        import json
+
+        try:
+            for line in handle.proc.stdout:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue  # torn line from a killed worker
+                self._dispatch(handle, message)
+        except (OSError, ValueError):
+            pass
+        self._on_worker_exit(handle)
+
+    def _dispatch(self, handle: WorkerHandle, message: Dict[str, Any]
+                  ) -> None:
+        kind = message.get("type")
+        if kind == "ready":
+            with self.lock:
+                handle.ready = True
+            return
+        if kind == "heartbeat":
+            with self.lock:
+                lease = self.leases.heartbeat(handle.wid,
+                                              int(message.get("sim_now", 0)))
+            if lease is not None and self.sampler is not None:
+                frame = message.get("frame")
+                if frame:
+                    ident = (lease.digest, frame.get("seq"))
+                    if ident != handle.last_frame:
+                        handle.last_frame = ident
+                        self.sampler.ingest(
+                            frame,
+                            source=f"job:{lease.digest[:8]}/w{handle.wid}")
+            return
+        if kind in ("result", "error"):
+            self._finish(handle, message)
+            return
+
+    def _finish(self, handle: WorkerHandle, message: Dict[str, Any]
+                ) -> None:
+        digest = message.get("job")
+        with self.lock:
+            job = self.queue.jobs.get(digest) if digest else None
+            if job is None or job.state != "leased" \
+                    or job.worker != handle.wid:
+                return  # stale message from a revoked lease
+            self.leases.release(handle.wid)
+            if message["type"] == "result":
+                result = message["result"]
+                self.queue.complete(job, result)
+                self.cache.put(digest, result, spec=job.spec.to_dict())
+                self._log(f"job {digest[:8]} done on worker {handle.wid} "
+                          f"({result.get('cycles')} cycles)")
+            else:
+                # Deterministic failure: retrying would fail identically.
+                self.queue.fail(job, message.get("error", "worker error"))
+                self._log(f"job {digest[:8]} failed: {job.error}")
+
+    def _on_worker_exit(self, handle: WorkerHandle) -> None:
+        """The single requeue path: EOF on a worker's pipe."""
+        handle.proc.wait()
+        with self.lock:
+            if self.workers.get(handle.wid) is not handle:
+                return  # already handled
+            del self.workers[handle.wid]
+            handle.ready = False
+            lease = self.leases.release(handle.wid)
+            if lease is not None:
+                job = self.queue.jobs.get(lease.digest)
+                if job is not None and job.state == "leased":
+                    kept = self.queue.requeue(
+                        job, f"worker {handle.wid} died "
+                             f"(exit {handle.proc.returncode})")
+                    self._log(
+                        f"worker {handle.wid} died holding "
+                        f"{lease.digest[:8]}: "
+                        + ("requeued" if kept else "retry budget exhausted"))
+            if not self.draining and not self.stopped.is_set():
+                self.respawns += 1
+                self._spawn_locked()
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _tick_loop(self) -> None:
+        while not self.stopped.wait(self.config.tick_s):
+            self.tick()
+
+    def tick(self) -> None:
+        """One scheduler pass: expire leases, then dispatch ready work."""
+        with self.lock:
+            for lease, reason in self.leases.expired():
+                self.leases.note_expiry(reason)
+                handle = self.workers.get(lease.worker)
+                self._log(f"lease on {lease.digest[:8]} expired "
+                          f"({reason}); killing worker {lease.worker}")
+                if handle is not None:
+                    # EOF handling requeues the job and respawns.
+                    handle.kill()
+                else:  # worker record already gone; requeue directly
+                    self.leases.release(lease.worker)
+                    job = self.queue.jobs.get(lease.digest)
+                    if job is not None and job.state == "leased":
+                        self.queue.requeue(job, f"lease {reason}")
+            for handle in list(self.workers.values()):
+                if not handle.ready or handle.wid in self.leases.leases:
+                    continue
+                job = self.queue.next_ready(retries_only=self.draining)
+                if job is None:
+                    break
+                self._assign_locked(job, handle)
+
+    def _assign_locked(self, job: Job, handle: WorkerHandle) -> None:
+        self.queue.lease(job, handle.wid)
+        self.leases.grant(job.digest, handle.wid)
+        try:
+            handle.send({
+                "type": "job",
+                "spec": job.spec.to_dict(),
+                "ckpt": checkpoint_path(self.config.workdir, job.digest),
+            })
+        except (OSError, ValueError):
+            handle.kill()  # EOF path requeues
+        self._log(f"job {job.digest[:8]} leased to worker {handle.wid} "
+                  f"(attempt {job.attempts})")
+
+    # -- public operations ---------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        """Admit one job; serves from cache when possible."""
+        with self.lock:
+            if self.draining:
+                return {"digest": spec.digest, "state": "shed",
+                        "error": "service is draining"}
+            existing = self.queue.jobs.get(spec.digest)
+            if existing is not None and existing.state not in ("failed",):
+                return existing.to_dict()
+            cached = self.cache.get(spec.digest)
+            if cached is not None:
+                return self.queue.adopt(spec, cached).to_dict()
+            return self.queue.submit(spec).to_dict()
+
+    def status(self) -> Dict[str, Any]:
+        with self.lock:
+            return {
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "draining": self.draining,
+                "queue": self.queue.counts(),
+                "leases": self.leases.to_dict(),
+                "cache": self.cache.stats(),
+                "workers": [handle.to_dict()
+                            for handle in self.workers.values()],
+                "respawns": self.respawns,
+            }
+
+    def drain(self, timeout_s: float = 60.0) -> Dict[str, Any]:
+        """Finish leased (and crash-orphaned) jobs, then stop workers.
+
+        New submissions are shed for the duration; queued-but-never-
+        leased jobs stay queued and are reported, not silently dropped.
+        """
+        with self.lock:
+            self.draining = True
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self.lock:
+                busy = len(self.leases) + sum(
+                    1 for job in self.queue.jobs.values()
+                    if job.state == "queued" and job.attempts > 0)
+            if busy == 0:
+                break
+            time.sleep(self.config.tick_s)
+        self.stop()
+        with self.lock:
+            leftover = [job.digest for job in self.queue.jobs.values()
+                        if job.state in ("queued", "leased")]
+        return {"drained": not leftover, "unfinished": leftover,
+                "counts": self.queue.counts()}
+
+    def stop(self, kill_timeout_s: float = 5.0) -> None:
+        """Stop the scheduler and terminate every worker."""
+        self.stopped.set()
+        if self._scheduler is not None and self._scheduler.is_alive() \
+                and threading.current_thread() is not self._scheduler:
+            self._scheduler.join(timeout=2.0)
+        with self.lock:
+            handles = list(self.workers.values())
+        for handle in handles:
+            try:
+                handle.send({"type": "exit"})
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + kill_timeout_s
+        for handle in handles:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                handle.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                handle.kill()
+                handle.proc.wait()
+        for handle in handles:
+            if handle.reader is not None:
+                handle.reader.join(timeout=2.0)

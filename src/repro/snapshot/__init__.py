@@ -37,14 +37,14 @@ from typing import Optional
 from ..core.errors import SnapshotError
 from .bisect import BisectResult, bisect_deadlock
 from .format import (FORMAT_VERSION, MAGIC, read_header, read_snapshot,
-                     write_snapshot)
+                     sweep_stale_tmp, write_snapshot)
 from .policy import CheckpointPolicy
 from .state import (capture_machine, capture_macro, restore_machine,
                     restore_macro)
 
 __all__ = [
     "SnapshotError", "FORMAT_VERSION", "MAGIC",
-    "read_header", "read_snapshot", "write_snapshot",
+    "read_header", "read_snapshot", "write_snapshot", "sweep_stale_tmp",
     "capture_machine", "restore_machine", "capture_macro", "restore_macro",
     "save_machine", "load_machine", "save_macro", "restore_macro_into",
     "CheckpointPolicy", "BisectResult", "bisect_deadlock",

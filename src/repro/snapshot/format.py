@@ -27,17 +27,18 @@ than guessing.
 
 from __future__ import annotations
 
+import fnmatch
 import hashlib
 import io
 import json
 import os
 import pickle
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.errors import SnapshotError
 
 __all__ = ["FORMAT_VERSION", "MAGIC", "SnapshotError", "write_snapshot",
-           "read_header", "read_snapshot"]
+           "read_header", "read_snapshot", "sweep_stale_tmp"]
 
 #: Major version of the file format this build reads and writes.
 FORMAT_VERSION = 1
@@ -70,13 +71,58 @@ def write_snapshot(path: str, kind: str, payload: Any,
         "meta": dict(meta) if meta else {},
     }
     tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "wb") as fh:
-        fh.write(MAGIC)
-        fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
-        fh.write(b"\n")
-        fh.write(blob)
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+            fh.write(b"\n")
+            fh.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        # A failed write must not leave its half-written sibling behind
+        # (a writer killed outright still can — sweep_stale_tmp covers
+        # that when the next checkpoint policy arms on the same path).
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return header
+
+
+def sweep_stale_tmp(path: str) -> List[str]:
+    """Remove orphaned ``*.tmp.<pid>`` siblings of checkpoint ``path``.
+
+    A writer that dies between ``open`` and ``os.replace`` (the very
+    crash checkpoints exist to survive) leaves a ``<path>.tmp.<pid>``
+    file behind.  This sweeps every such leftover for the given
+    checkpoint path — ``{cycle}``-templated paths match any cycle —
+    and returns the paths removed.  Called when a
+    :class:`~repro.snapshot.policy.CheckpointPolicy` arms, i.e. exactly
+    when a new writer takes ownership of the path family, so a sweep
+    can never race a live writer of the same checkpoint.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    base = os.path.basename(path)
+    try:
+        base = base.format(cycle="*")
+    except (IndexError, KeyError, ValueError):
+        pass  # not a {cycle} template; match the literal name
+    pattern = base + ".tmp.*"
+    removed: List[str] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in entries:
+        if fnmatch.fnmatch(name, pattern):
+            stale = os.path.join(directory, name)
+            try:
+                os.unlink(stale)
+            except OSError:
+                continue
+            removed.append(stale)
+    return removed
 
 
 def _read_magic_and_header(fh: io.BufferedReader,

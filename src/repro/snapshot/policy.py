@@ -24,7 +24,11 @@ class CheckpointPolicy:
     overwritten in place — crash-safe, see ``write_snapshot``).
 
     The first ``due`` call only arms the clock: a checkpoint at cycle 0
-    would capture the state the caller already has.
+    would capture the state the caller already has.  Arming also sweeps
+    any orphaned ``*.tmp.<pid>`` siblings of ``path`` left by a writer
+    that died mid-checkpoint (:func:`~repro.snapshot.format
+    .sweep_stale_tmp`) — the policy taking ownership of the path family
+    is the one moment such leftovers are provably stale.
     """
 
     def __init__(self, path: str, every: int = 100_000,
@@ -42,11 +46,16 @@ class CheckpointPolicy:
         self.saves = 0
         self.last_path: Optional[str] = None
         self.last_header: Optional[dict] = None
+        #: Stale temp files removed when the policy armed.
+        self.swept: list = []
 
     def due(self, now: int) -> bool:
         """Is a checkpoint due at simulated time ``now``?  O(1)."""
         if self.next_due is None:
             self.next_due = now + self.every
+            from .format import sweep_stale_tmp
+
+            self.swept = sweep_stale_tmp(self.path)
             return False
         return now >= self.next_due
 

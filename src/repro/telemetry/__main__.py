@@ -72,6 +72,9 @@ def _dotted(part: str, is_prefix: bool) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .demo import start_demo
     from .serve import LiveServer
 
@@ -81,25 +84,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                      else args.interval)
     server = LiveServer(run.sampler, host=args.host, port=args.port,
                         verbose=args.verbose)
+    # Graceful shutdown on SIGTERM as well as SIGINT: the server used to
+    # die in its daemon thread on SIGTERM, never closing SSE streams or
+    # releasing the port.  Both signals now set one event; the single
+    # exit path below closes streams (server.stop flips ``stopping``,
+    # which ends every /stream loop) and releases the socket.  Handlers
+    # go in before the URL is announced: a client that signals the
+    # moment it sees the URL must never hit the default handlers.
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(
+            signum, lambda _signum, _frame: stop.set())
     url = server.start_background()
     print(f"serving {args.workload} on {url} "
-          f"(/metrics /snapshot.json /stream); Ctrl-C to stop")
+          f"(/metrics /snapshot.json /stream); Ctrl-C to stop",
+          flush=True)
     try:
-        run.join()
-        print(f"workload finished after {run.sampler.samples} samples; "
-              f"still serving final frames")
-        if args.linger_s is not None:
-            import time
-
-            time.sleep(args.linger_s)
-        else:
-            import threading
-
-            threading.Event().wait()  # serve until interrupted
+        while not run.done() and not stop.wait(0.1):
+            pass  # a signal mid-workload still exits promptly
+        if run.done() and not stop.is_set():
+            run.join()  # surfaces a workload error, if any
+            print(f"workload finished after {run.sampler.samples} "
+                  f"samples; still serving final frames", flush=True)
+            stop.wait(args.linger_s)  # None = until a signal arrives
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
         server.stop()
+        print("serve: shut down cleanly", flush=True)
     return 0
 
 

@@ -419,6 +419,34 @@ class LiveSampler:
             self._new_frame.notify_all()
         return point
 
+    # -- relay side (the simulation service) ---------------------------------
+
+    def ingest(self, frame: Dict[str, Any],
+               source: Optional[str] = None) -> SamplePoint:
+        """Adopt a frame sampled in *another process* into this ring.
+
+        The simulation service's workers each run their own sampler and
+        relay frames to the supervisor in heartbeat messages; the
+        supervisor ingests them here so the existing ``/metrics``,
+        ``/snapshot.json``, and ``/stream`` endpoints serve the whole
+        fleet unchanged.  The frame is re-sequenced into this ring
+        (worker-local ``seq`` values from different processes would
+        interleave non-monotonically); ``source`` overrides the frame's
+        origin tag, e.g. with a job/worker label.
+        """
+        point = SamplePoint.from_dict(frame)
+        if source is not None:
+            point.source = source
+        with self._new_frame:
+            point.seq = self._seq
+            self._seq += 1
+            self.samples += 1
+            if len(self.points) == self.points.maxlen:
+                self.ring_evicted += 1
+            self.points.append(point)
+            self._new_frame.notify_all()
+        return point
+
     # -- reader side (dashboard / HTTP server threads) -----------------------
 
     def latest(self) -> Optional[SamplePoint]:

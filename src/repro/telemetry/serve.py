@@ -175,11 +175,12 @@ class LiveServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, sampler: LiveSampler, host: str = "127.0.0.1",
-                 port: int = 0, verbose: bool = False) -> None:
+                 port: int = 0, verbose: bool = False,
+                 handler_cls: type = _Handler) -> None:
         self.sampler = sampler
         self.verbose = verbose
         self.stopping = False
-        super().__init__((host, port), _Handler)
+        super().__init__((host, port), handler_cls)
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -1,0 +1,60 @@
+"""The content-addressed result cache: atomic, corruption-tolerant."""
+
+import json
+import os
+
+from repro.service import ResultCache
+
+RESULT = {"cycles": 123, "fingerprint": "ab" * 32, "output": 9}
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put("d" * 64, RESULT)
+        assert cache.get("d" * 64) == RESULT
+        assert cache.stats() == {"hits": 1, "misses": 0, "entries": 1}
+
+    def test_miss_is_counted_not_raised(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get("absent" * 8) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_overwrite_in_place(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("a" * 64, {"cycles": 1})
+        cache.put("a" * 64, {"cycles": 2})
+        assert cache.get("a" * 64) == {"cycles": 2}
+        assert len(cache) == 1
+
+    def test_spec_recorded_alongside(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = cache.put("b" * 64, RESULT, spec={"app": "lcs"})
+        with open(path, encoding="utf-8") as fh:
+            entry = json.load(fh)
+        assert entry["spec"] == {"app": "lcs"}
+        assert entry["digest"] == "b" * 64
+
+
+class TestCorruption:
+    def test_torn_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = cache.put("c" * 64, RESULT)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"digest": "c", "resu')  # truncated mid-write
+        assert cache.get("c" * 64) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_wrong_shape_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = cache.path("e" * 64)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(["not", "an", "entry"], fh)
+        assert cache.get("e" * 64) is None
+
+    def test_writes_are_atomic_no_tmp_left_behind(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("f" * 64, RESULT)
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if ".tmp." in name]
+        assert leftovers == []

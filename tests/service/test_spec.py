@@ -1,0 +1,142 @@
+"""JobSpec canonicalization: the rules the cache's soundness rests on.
+
+Two specs that *mean* the same run must hash identically (else the
+cache silently loses hits), and two specs that mean different runs
+must never collide on defaults (else the cache serves wrong results).
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.service import APPS, SPEC_VERSION, JobSpec
+
+
+class TestCanonicalization:
+    def test_defaults_are_filled_in(self):
+        bare = JobSpec("lcs")
+        explicit = JobSpec("lcs", n_nodes=8,
+                           params={"scale": 0.02, "seed": 20130501},
+                           plan=None, reliable=False)
+        assert bare.digest == explicit.digest
+
+    def test_canonical_json_is_sorted_and_minimal(self):
+        text = JobSpec("lcs").canonical_json()
+        parsed = json.loads(text)
+        assert text == json.dumps(parsed, sort_keys=True,
+                                  separators=(",", ":"))
+        assert parsed["version"] == SPEC_VERSION
+
+    def test_numeric_coercion_unifies_int_and_float(self):
+        assert JobSpec("lcs", params={"scale": 1}).digest \
+            == JobSpec("lcs", params={"scale": 1.0}).digest
+
+    def test_param_order_is_irrelevant(self):
+        a = JobSpec("nqueens", params={"n": 9, "tasks_per_node": 2})
+        b = JobSpec("nqueens", params={"tasks_per_node": 2, "n": 9})
+        assert a.digest == b.digest
+
+    def test_reliable_true_and_empty_dict_hash_equal(self):
+        assert JobSpec("lcs", reliable=True).digest \
+            == JobSpec("lcs", reliable={}).digest
+
+    def test_reliable_kwargs_order_is_irrelevant(self):
+        a = JobSpec("lcs", reliable={"timeout": 500, "max_retries": 9})
+        b = JobSpec("lcs", reliable={"max_retries": 9, "timeout": 500})
+        assert a.digest == b.digest
+
+    def test_fault_plan_normalizes_defaulted_fields(self):
+        sparse = {"seed": 3, "specs": [{"kind": "drop", "rate": 0.1}]}
+        padded = {"seed": 3, "specs": [{"kind": "drop", "rate": 0.1,
+                                        "node": None}]}
+        assert JobSpec("lcs", plan=sparse).digest \
+            == JobSpec("lcs", plan=padded).digest
+
+    def test_distinct_meanings_never_collide(self):
+        digests = {
+            JobSpec("lcs").digest,
+            JobSpec("lcs", n_nodes=16).digest,
+            JobSpec("lcs", params={"scale": 0.04}).digest,
+            JobSpec("lcs", reliable=True).digest,
+            JobSpec("lcs", plan={"seed": 1, "specs": [
+                {"kind": "drop", "rate": 0.1}]}).digest,
+            JobSpec("nqueens").digest,
+            JobSpec("ping").digest,
+        }
+        assert len(digests) == 7
+
+
+class TestHintsExcluded:
+    def test_hints_do_not_change_the_digest(self):
+        """Checkpoint/sampling cadence shapes supervision, never the
+        result (both are bit-identical-when-enabled), so resubmitting
+        with different hints must still hit the cache."""
+        a = JobSpec("lcs", checkpoint_every=1_000, sample_every=100)
+        b = JobSpec("lcs", checkpoint_every=9_999_999)
+        assert a.digest == b.digest
+        assert a.checkpoint_every != b.checkpoint_every
+
+    def test_hints_travel_in_to_dict(self):
+        spec = JobSpec("lcs", checkpoint_every=777, sample_every=55)
+        data = spec.to_dict()
+        assert data["checkpoint_every"] == 777
+        assert data["sample_every"] == 55
+        assert "checkpoint_every" not in spec.identity()
+
+
+class TestValidation:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec("mandelbrot")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigurationError) as info:
+            JobSpec("lcs", params={"scale": 0.1, "warp": 9})
+        assert "warp" in str(info.value)
+
+    def test_bad_n_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec("lcs", n_nodes=0)
+
+    def test_bad_plan_rejected_at_submit_time(self):
+        with pytest.raises(Exception):
+            JobSpec("lcs", plan={"seed": 1, "specs": [
+                {"kind": "not-a-fault"}]})
+
+    def test_ping_with_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec("ping", plan={"seed": 1, "specs": [
+                {"kind": "drop", "rate": 0.1}]})
+
+    def test_nonpositive_hints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec("lcs", checkpoint_every=0)
+
+    def test_apps_vocabulary_is_closed(self):
+        assert APPS == ("lcs", "nqueens", "ping")
+
+
+class TestTransport:
+    def test_round_trip_preserves_digest_and_hints(self):
+        spec = JobSpec("nqueens", n_nodes=4, params={"n": 7},
+                       reliable={"timeout": 800}, checkpoint_every=123)
+        clone = JobSpec.from_dict(spec.to_dict())
+        assert clone.digest == spec.digest
+        assert clone.checkpoint_every == 123
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError) as info:
+            JobSpec.from_dict({"app": "lcs", "priority": 7})
+        assert "priority" in str(info.value)
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec.from_dict({"app": "lcs",
+                               "version": SPEC_VERSION + 1})
+
+    def test_missing_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec.from_dict({"n_nodes": 4})

@@ -97,3 +97,74 @@ class TestValidation:
     def test_missing_file(self, tmp_path):
         with pytest.raises(OSError):
             read_header(str(tmp_path / "absent.ckpt"))
+
+    def test_corruption_is_typed_not_pickle(self, tmp_path):
+        """Every torn-file mode raises SnapshotError, never a bare
+        pickle/EOF exception a caller would have to guess at."""
+        path, _ = _write(tmp_path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        for mutilated in (data[:-10],                      # truncated
+                          data[:-5] + b"\x00" * 5,         # bit rot
+                          data + b"trailing-garbage"):      # grown
+            with open(path, "wb") as fh:
+                fh.write(mutilated)
+            with pytest.raises(SnapshotError):
+                read_snapshot(path)
+
+
+class TestTmpHygiene:
+    """Orphaned ``*.tmp.<pid>`` siblings: never left by a failed write,
+    swept when a new writer takes ownership of the path."""
+
+    def test_failed_write_leaves_no_tmp(self, tmp_path):
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("nope")
+
+        path = str(tmp_path / "snap.ckpt")
+        with pytest.raises(Exception):
+            write_snapshot(path, "cycle", {"bad": Unpicklable()})
+        # pickling fails before the tmp file opens; also exercise an
+        # open-time failure (unwritable directory path component)
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_sweep_removes_orphans_for_plain_path(self, tmp_path):
+        from repro.snapshot import sweep_stale_tmp
+
+        path = str(tmp_path / "snap.ckpt")
+        orphan = tmp_path / "snap.ckpt.tmp.12345"
+        orphan.write_bytes(b"half-written")
+        other = tmp_path / "other.ckpt.tmp.12345"
+        other.write_bytes(b"someone else's")
+        removed = sweep_stale_tmp(path)
+        assert [str(orphan)] == removed
+        assert not orphan.exists()
+        assert other.exists()  # only the given path family is swept
+
+    def test_sweep_matches_cycle_template(self, tmp_path):
+        from repro.snapshot import sweep_stale_tmp
+
+        path = str(tmp_path / "snap-{cycle}.ckpt")
+        for cycle in (100, 200):
+            orphan = tmp_path / f"snap-{cycle}.ckpt.tmp.999"
+            orphan.write_bytes(b"x")
+        removed = sweep_stale_tmp(path)
+        assert len(removed) == 2
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_policy_arming_sweeps(self, tmp_path):
+        from repro.snapshot import CheckpointPolicy
+
+        path = str(tmp_path / "snap.ckpt")
+        orphan = tmp_path / "snap.ckpt.tmp.42"
+        orphan.write_bytes(b"left by a killed writer")
+        policy = CheckpointPolicy(path, every=10)
+        assert policy.due(0) is False  # first call arms...
+        assert policy.swept == [str(orphan)]  # ...and sweeps
+        assert not orphan.exists()
+
+    def test_sweep_missing_directory_is_quiet(self, tmp_path):
+        from repro.snapshot import sweep_stale_tmp
+
+        assert sweep_stale_tmp(str(tmp_path / "absent" / "x.ckpt")) == []
