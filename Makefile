@@ -2,7 +2,7 @@
 
 .PHONY: install test bench perfsmoke telemetry-gate chaos-smoke \
 	trace-smoke parallel-smoke snapshot-smoke live-smoke service-smoke \
-	trajectory check paper report examples clean
+	fabric-smoke trajectory check paper report examples clean
 
 install:
 	pip install -e .
@@ -71,6 +71,13 @@ live-smoke:
 service-smoke:
 	PYTHONPATH=src python benchmarks/service_smoke.py --smoke
 
+# Fabric-observatory smoke: transpose-pattern midplane hotspot
+# detection, probe-on/off event-digest equality, serial-vs-parallel
+# report exactness, and the contention-model calibration fit
+# (docs/OBSERVABILITY.md §8).
+fabric-smoke:
+	PYTHONPATH=src python benchmarks/fabric_smoke.py --smoke
+
 # Render the committed perf-trajectory artifacts and gate the newest
 # point against the median of its priors (docs/PERFORMANCE.md).
 trajectory:
@@ -78,9 +85,9 @@ trajectory:
 
 # The full gate: correctness, throughput, telemetry overhead, chaos,
 # causal tracing, parallel determinism, checkpoint/restore, live
-# monitoring, fault-tolerant service.
+# monitoring, fault-tolerant service, fabric observatory.
 check: test telemetry-gate chaos-smoke trace-smoke parallel-smoke \
-	snapshot-smoke live-smoke service-smoke
+	snapshot-smoke live-smoke service-smoke fabric-smoke
 
 # Regenerate every table and figure at the paper's sizes (slow).
 paper:

@@ -18,6 +18,7 @@ import sys
 BASELINE = "test_loaded_fabric_throughput"
 INSTRUMENTED = "test_loaded_fabric_metrics_only"
 SAMPLED = "test_loaded_fabric_sampler"
+PROBE = "test_loaded_fabric_probe"
 
 try:
     # The thresholds are shared with the trajectory CLI
@@ -66,7 +67,7 @@ def main(argv):
     times = {}
     paired = {}
     for bench in data["benchmarks"]:
-        if bench["name"] in (BASELINE, INSTRUMENTED, SAMPLED):
+        if bench["name"] in (BASELINE, INSTRUMENTED, SAMPLED, PROBE):
             # min is the standard noise-resistant statistic: every other
             # sample includes scheduling jitter on top of the true cost.
             times[bench["name"]] = bench["stats"]["min"]
@@ -85,6 +86,11 @@ def main(argv):
         # same contract; absent in pre-sampler artifacts, so optional.
         status |= _check_variant(times, paired.get(SAMPLED),
                                  SAMPLED, "sampler-attached")
+    if PROBE in times:
+        # The fabric-observatory variant (per-link counters attached);
+        # absent in pre-observatory artifacts, so optional.
+        status |= _check_variant(times, paired.get(PROBE),
+                                 PROBE, "fabric-probe")
     if status:
         return 1
     print("telemetry gate: OK")

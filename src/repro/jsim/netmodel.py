@@ -44,7 +44,14 @@ _CONTENTION_CAP = 2000.0
 
 
 class LatencyModel:
-    """Distance + length + contention latency with saturation throttling."""
+    """Distance + length + contention latency with saturation throttling.
+
+    The contention shape is parameterized (``contention_scale``,
+    ``contention_cap``, ``saturation_fraction``) so the calibrator
+    (:mod:`repro.jsim.calibrate`) can fit the model against per-link
+    utilization measured by the flit simulator's fabric observatory;
+    the module-level defaults are the hand-tuned values.
+    """
 
     def __init__(
         self,
@@ -52,15 +59,22 @@ class LatencyModel:
         costs: CostModel = DEFAULT_COSTS,
         interface_cycles: int = 9,
         window_cycles: int = _WINDOW_CYCLES,
+        contention_scale: float = _CONTENTION_SCALE,
+        contention_cap: float = _CONTENTION_CAP,
+        saturation_fraction: float = _SATURATION_FRACTION,
     ) -> None:
         self.mesh = mesh
         self.costs = costs
         self.interface_cycles = interface_cycles
         self.window = window_cycles
+        self.contention_scale = float(contention_scale)
+        self.contention_cap = float(contention_cap)
+        self.saturation_fraction = float(saturation_fraction)
         # Usable crossing capacity, in words per cycle (both directions:
         # Y*Z channels each way at 0.5 words/cycle).
         raw = mesh.bisection_channels() * 2 * 0.5
-        self.capacity_words_per_cycle = max(raw * _SATURATION_FRACTION, 0.25)
+        self.capacity_words_per_cycle = max(raw * self.saturation_fraction,
+                                            0.25)
         self._bucket_start = 0
         self._bucket_words = 0.0
         self._prev_rate = 0.0
@@ -113,12 +127,14 @@ class LatencyModel:
         if not crossing:
             # Local traffic sees only mild contention.
             u = self._utilization(now)
-            return base + int(min(_CONTENTION_CAP, _CONTENTION_SCALE * u * u))
+            return base + int(min(self.contention_cap,
+                                  self.contention_scale * u * u))
 
         self.crossing_messages += 1
         u = self._utilization(now)
         self._bucket_words += length_words
-        contention = min(_CONTENTION_CAP, _CONTENTION_SCALE * u / (1.0 - u))
+        contention = min(self.contention_cap,
+                         self.contention_scale * u / (1.0 - u))
 
         # Saturation throttling: words beyond capacity queue up.
         service = length_words / self.capacity_words_per_cycle
@@ -135,6 +151,7 @@ class LatencyModel:
     EXTERNAL_ATTRS = frozenset({
         "mesh", "costs", "interface_cycles", "window",
         "capacity_words_per_cycle", "_phits_per_word", "_pair_cache",
+        "contention_scale", "contention_cap", "saturation_fraction",
     })
 
     def state_dict(self) -> dict:

@@ -55,6 +55,11 @@ class MachineConfig:
     #: 0/1 = serial.  Runs the protocol cannot reproduce bit-exactly
     #: fall back to the serial loop automatically.
     parallel_shards: int = 0
+    #: Attach a fabric observatory probe at construction (per-link
+    #: phit/utilization counters, stall-cause split, queue-occupancy
+    #: histograms — see :mod:`repro.network.observatory`).  Off by
+    #: default: un-probed runs skip every accumulation site.
+    fabric_probe: bool = False
 
     def __post_init__(self) -> None:
         if any(d <= 0 for d in self.dims):

@@ -50,6 +50,8 @@ class JMachine:
             flow_control=self.config.flow_control,
         )
         self.fabric.on_injected = self._injection_finished
+        if self.config.fabric_probe:
+            self.fabric.attach_probe()
         self.nodes: List[Node] = [
             Node(i, self.config, submit=self.fabric.send)
             for i in range(self.mesh.n_nodes)
@@ -539,6 +541,16 @@ class JMachine:
         from ..telemetry.report import SimReport
 
         return SimReport.from_machine(self, meta)
+
+    def fabric_report(self):
+        """Analyze the observatory probe as of the current cycle.
+
+        Requires ``MachineConfig(fabric_probe=True)`` (or a manual
+        ``machine.fabric.attach_probe()`` before the run).
+        """
+        from ..network.observatory import FabricReport
+
+        return FabricReport.from_fabric(self.fabric, self.now)
 
     def total_busy_cycles(self) -> int:
         return sum(node.proc.counters.busy_cycles for node in self.nodes)

@@ -1,6 +1,7 @@
 """The 3-D mesh wormhole network: topology, e-cube routing, flit fabric."""
 
 from .fabric import BUFFER_PHITS, Fabric, Worm
+from .observatory import FABRIC_METRICS, FabricProbe, FabricReport
 from .routing import ChannelKey, EJECT, INJECT, ecube_route, route_hops
 from .stats import LatencySummary, NetworkStats, format_channel_heatmap
 from .topology import Mesh3D
@@ -16,6 +17,9 @@ __all__ = [
     "BUFFER_PHITS",
     "Fabric",
     "Worm",
+    "FABRIC_METRICS",
+    "FabricProbe",
+    "FabricReport",
     "ChannelKey",
     "EJECT",
     "INJECT",

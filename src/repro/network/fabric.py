@@ -44,6 +44,7 @@ from ..core.costs import CostModel, DEFAULT_COSTS
 from ..core.errors import ConfigurationError, DeadlockError
 from ..core.message import Message
 from ..core.registers import Priority
+from .observatory import FabricProbe
 from .routing import ChannelKey, INJECT, route
 from .stats import NetworkStats
 from .topology import Mesh3D
@@ -196,6 +197,20 @@ class Fabric:
         #: :meth:`repro.chaos.ChaosEngine.attach_machine`); None keeps
         #: every injection site on its cheap ``is None`` branch.
         self.chaos = None
+        #: Fabric observatory probe
+        #: (:class:`~repro.network.observatory.FabricProbe`); None keeps
+        #: every accumulation site on its cheap ``is None`` branch so
+        #: un-probed runs stay bit-identical.
+        self.probe: Optional[FabricProbe] = None
+
+    def attach_probe(self, now: int = 0) -> FabricProbe:
+        """Attach (and return) a fresh observatory probe.
+
+        Call before traffic starts so utilization denominators cover the
+        whole run; re-attaching discards previous counters.
+        """
+        self.probe = FabricProbe(opened_at=now)
+        return self.probe
 
     # ------------------------------------------------------------------ send
 
@@ -291,6 +306,7 @@ class Fabric:
         """Move staged worms whose release time has come into the
         per-(source, priority) pending queues, in submission order."""
         staged = self._staged
+        probe = self.probe
         while staged and staged[0][0] <= now:
             _, _, worm = heapq.heappop(staged)
             queue_key = (worm.message.source, worm.pri)
@@ -299,6 +315,8 @@ class Fabric:
                 queue = self._pending[queue_key] = deque()
             queue.append(worm)
             self._pending_count += 1
+            if probe is not None:
+                probe.record_queue_depth(queue_key[0], len(queue))
 
     def _activate_pending(self, now: int) -> None:
         """Activate queue fronts whose injection port is free.
@@ -376,11 +394,16 @@ class Fabric:
         #    outage persists, deadlock — propagates realistically).
         if worm.head < last:
             key = worm.keys[worm.head + 1]
-            if self._owner.get(key) is not None or (
-                    self.chaos is not None
+            blocked = self._owner.get(key) is not None
+            outage = False
+            if (not blocked and self.chaos is not None
                     and self.chaos.link_blocked(key, now)):
+                blocked = outage = True
+            if blocked:
                 worm.block_cycles += 1
                 self.stats.block_cycles += 1
+                if self.probe is not None:
+                    self.probe.record_block(key, outage)
             else:
                 self._owner[key] = worm
                 worm.head += 1
@@ -404,6 +427,8 @@ class Fabric:
                     return True
                 else:
                     self.stats.delivery_stall_cycles += 1
+                    if self.probe is not None:
+                        self.probe.record_backpressure(message.dest)
             if worm.reserved and worm.delivered < min(worm.total_phits, worm.injected):
                 worm.delivered += 1
                 moved = True
@@ -501,7 +526,8 @@ class Fabric:
 
             use_numpy = (self.vector_threshold is not None
                          and len(solo) >= self.vector_threshold)
-            lanes = SoloLanes(solo, BUFFER_PHITS, probe, use_numpy)
+            lanes = SoloLanes(solo, BUFFER_PHITS, probe, use_numpy,
+                              track_stalls=self.probe is not None)
 
         staged = self._staged
         stats = self.stats
@@ -583,6 +609,13 @@ class Fabric:
                 w.injected = ni
                 w.delivered = nd
                 w.reserved = nres
+            if self.probe is not None:
+                # Fold the lanes' per-worm refused-at-eject counts into
+                # the probe; totals match the per-cycle reference path
+                # (order of accumulation is immaterial for counters).
+                for j, n in lanes.stall_counts():
+                    self.probe.record_backpressure(
+                        lanes.worm(j).message.dest, n)
         if any_finished:
             self._active = [w for w in self._active if not w.done]
         return c
@@ -607,6 +640,8 @@ class Fabric:
                     self.channel_phits[channel] = (
                         self.channel_phits.get(channel, 0) + worm.total_phits
                     )
+        if self.probe is not None:
+            self.probe.record_completion(worm)
         self.deliver_fn(worm.message.dest, worm.message, arrival)
         self.stats.record_completion(worm, arrival)
 
@@ -646,6 +681,8 @@ class Fabric:
                     self.channel_phits[channel] = (
                         self.channel_phits.get(channel, 0) + worm.total_phits
                     )
+        if self.probe is not None:
+            self.probe.record_completion(worm)
         self.deliver_fn(worm.message.dest, worm.message, arrival)
         self.stats.record_completion(worm, arrival)
 
@@ -732,6 +769,7 @@ class Fabric:
             "channel_phits": dict(self.channel_phits),
             "watchdog_cycles": self.watchdog_cycles,
             "stagnant_cycles": self._stagnant_cycles,
+            "probe": self.probe,
         }
 
     def load_state(self, state: dict) -> None:
@@ -762,6 +800,8 @@ class Fabric:
         self.channel_phits = dict(state["channel_phits"])
         self.watchdog_cycles = state["watchdog_cycles"]
         self._stagnant_cycles = state["stagnant_cycles"]
+        # Absent in pre-observatory captures: restore to un-probed.
+        self.probe = state.get("probe")
 
     # ---------------------------------------------------------------- helpers
 

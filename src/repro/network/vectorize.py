@@ -50,10 +50,15 @@ class PyLanes:
     """Pure-Python solo lanes: parallel lists of ints, loop per worm."""
 
     def __init__(self, worms: List, buffer_phits: int,
-                 accept: AcceptProbe) -> None:
+                 accept: AcceptProbe, track_stalls: bool = False) -> None:
         self.worms = worms
         self.buffer = buffer_phits
         self.accept = accept
+        #: Per-lane refused-at-eject cycle counts, kept only when the
+        #: fabric has an observatory probe attached (the aggregate
+        #: ``stalls`` return stays unconditional and unchanged).
+        self.stall_lane: Optional[List[int]] = (
+            [0] * len(worms) if track_stalls else None)
         self.h = [w.head for w in worms]
         self.r = [w.released for w in worms]
         self.inj = [w.injected for w in worms]
@@ -106,6 +111,8 @@ class PyLanes:
                         res[j] = True
                     else:
                         stalls += 1
+                        if self.stall_lane is not None:
+                            self.stall_lane[j] += 1
                 if res[j]:
                     dj = dlv[j]
                     ij = inj[j]
@@ -151,17 +158,33 @@ class PyLanes:
             yield (self.worms[j], self.h[j], self.r[j], self.inj[j],
                    self.dlv[j], bool(self.res[j]))
 
+    def stall_counts(self):
+        """Yield ``(lane, cycles)`` for lanes that stalled refused.
+
+        Empty unless constructed with ``track_stalls=True``.  Covers all
+        lanes ever tracked (a refused lane's verdict is frozen for the
+        window, so stalled lanes are in practice still alive).
+        """
+        if self.stall_lane is None:
+            return
+        for j, n in enumerate(self.stall_lane):
+            if n:
+                yield j, n
+
 
 class NumpyLanes:
     """numpy solo lanes: one array per field, array ops per cycle."""
 
     def __init__(self, worms: List, buffer_phits: int,
-                 accept: AcceptProbe) -> None:
+                 accept: AcceptProbe, track_stalls: bool = False) -> None:
         if _np is None:  # pragma: no cover - guarded by the factory
             raise RuntimeError("numpy is not available")
         self.worms = worms
         self.buffer = buffer_phits
         self.accept = accept
+        #: See :attr:`PyLanes.stall_lane` (same contract, int64 array).
+        self.stall_lane = (_np.zeros(len(worms), dtype=_np.int64)
+                           if track_stalls else None)
         self.h = _np.array([w.head for w in worms], dtype=_np.int64)
         self.r = _np.array([w.released for w in worms], dtype=_np.int64)
         self.inj = _np.array([w.injected for w in worms], dtype=_np.int64)
@@ -201,7 +224,10 @@ class NumpyLanes:
                 for j in np.nonzero(unknown)[0]:
                     self.acc[j] = 1 if self.accept(self.worms[j]) else 0
             res |= need & (self.acc == 1)
-            stalls = int((at_eject & ~res).sum())
+            still = at_eject & ~res
+            stalls = int(still.sum())
+            if self.stall_lane is not None and stalls:
+                self.stall_lane[still] += 1
         deliver = at_eject & res & (dlv < np.minimum(inj, tot))
         dlv[deliver] += 1
         done = deliver & (dlv == tot)
@@ -236,10 +262,17 @@ class NumpyLanes:
             yield (self.worms[j], int(self.h[j]), int(self.r[j]),
                    int(self.inj[j]), int(self.dlv[j]), bool(self.res[j]))
 
+    def stall_counts(self):
+        """Same contract as :meth:`PyLanes.stall_counts`."""
+        if self.stall_lane is None:
+            return
+        for j in _np.nonzero(self.stall_lane)[0]:
+            yield int(j), int(self.stall_lane[j])
+
 
 def SoloLanes(worms: List, buffer_phits: int, accept: AcceptProbe,
-              use_numpy: bool):
+              use_numpy: bool, track_stalls: bool = False):
     """Backend factory: numpy lanes when requested and available."""
     if use_numpy and HAVE_NUMPY:
-        return NumpyLanes(worms, buffer_phits, accept)
-    return PyLanes(worms, buffer_phits, accept)
+        return NumpyLanes(worms, buffer_phits, accept, track_stalls)
+    return PyLanes(worms, buffer_phits, accept, track_stalls)

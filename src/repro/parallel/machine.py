@@ -171,6 +171,10 @@ class _Coordinator:
         fab.track_channel_load = src.track_channel_load
         fab.channel_phits = dict(src.channel_phits)
         fab.watchdog_cycles = src.watchdog_cycles
+        # Observatory counters accumulate on the replay clone (the
+        # whole fabric runs here); fold-back installs them like stats.
+        fab.probe = (copy.deepcopy(src.probe)
+                     if src.probe is not None else None)
         fab.on_injected = self._injection_done
         fab._events = self.staging_bus
         fab.chaos = self.chaos_copy
@@ -522,6 +526,7 @@ class _Coordinator:
         dst._seq = src._seq
         dst.stats = src.stats
         dst.channel_phits = src.channel_phits
+        dst.probe = src.probe
 
         if self._real_bus is not None and new_events:
             bus = self._real_bus

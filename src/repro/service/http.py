@@ -5,7 +5,10 @@
 exposes **both** APIs on one port:
 
 inherited (fleet-wide live telemetry, relayed from worker heartbeats)
-    ``GET /metrics``, ``GET /snapshot.json``, ``GET /stream``
+    ``GET /metrics``, ``GET /snapshot.json``, ``GET /fabric.json``,
+    ``GET /stream`` — fabric-observatory payloads sampled in a worker
+    ride its heartbeat frames, so ``/fabric.json`` relays fleet-wide
+    exactly like ``/snapshot.json``
 
 service
     ``GET  /status``          — queue counts, leases, cache, workers

@@ -98,11 +98,20 @@ class Telemetry:
         """Snapshot every registered metric into a :class:`SimReport`."""
         return SimReport.from_registry(self.registry, meta)
 
-    def write_chrome_trace(self, path: str) -> int:
-        """Write the Perfetto-loadable timeline; returns the event count."""
+    def write_chrome_trace(self, path: str, counters: bool = False,
+                           mesh=None, link_tracks: int = 16) -> int:
+        """Write the Perfetto-loadable timeline; returns the event count.
+
+        ``counters=True`` adds offline-reconstructed counter tracks
+        (queue depth per node, chaos events, and — given a ``mesh`` —
+        cumulative phits for the busiest links); see
+        :meth:`EventBus.to_chrome_trace`.
+        """
         if self.events is None:
             raise ValueError("event collection is disabled on this Telemetry")
-        return self.events.write_chrome_trace(path)
+        return self.events.write_chrome_trace(path, counters=counters,
+                                              mesh=mesh,
+                                              link_tracks=link_tracks)
 
     def write_jsonl(self, path: str) -> int:
         """Write events as JSON lines; returns the number written."""

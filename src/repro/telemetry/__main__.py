@@ -6,6 +6,9 @@ Usage::
     python -m repro.telemetry report a.json b.json       # diff two runs
     python -m repro.telemetry report run.json --json     # machine-readable
     python -m repro.telemetry report run.json --top 5 --suffix cycles
+    python -m repro.telemetry report a.json b.json --fabric  # + link diff
+    python -m repro.telemetry fabric run.json            # congestion heatmap
+    python -m repro.telemetry fabric run.json --json --top 12
     python -m repro.telemetry critical-path events.jsonl # causal analysis
     python -m repro.telemetry critical-path events.jsonl --steps 10
     python -m repro.telemetry serve --workload lcs       # HTTP endpoints
@@ -24,14 +27,25 @@ from .report import SimReport
 from .trace import CausalGraph
 
 
+def _fabric_of(report: SimReport):
+    """The embedded FabricReport of a run artifact, or ``None``."""
+    payload = report.meta.get("fabric")
+    if not payload:
+        return None
+    from ..network.observatory import FabricReport
+
+    return FabricReport.from_dict(payload)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     report = SimReport.load(args.run)
     if args.baseline is not None:
         baseline = SimReport.load(args.baseline)
+        a, b = ((baseline, report) if args.swap else (report, baseline))
+        fab_a, fab_b = (_fabric_of(a), _fabric_of(b)) if args.fabric \
+            else (None, None)
         if args.json:
-            a, b = ((baseline, report) if args.swap
-                    else (report, baseline))
-            print(json.dumps({
+            payload = {
                 "kind": "diff",
                 "a": {"path": args.run if not args.swap else args.baseline,
                       "meta": a.meta},
@@ -39,11 +53,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
                       "meta": b.meta},
                 "diff": {name: list(pair)
                          for name, pair in a.diff(b).items()},
-            }, indent=1, sort_keys=True))
+            }
+            if args.fabric:
+                payload["fabric_diff"] = (
+                    {name: list(pair)
+                     for name, pair in fab_a.diff(fab_b).items()}
+                    if fab_a is not None and fab_b is not None else None)
+            print(json.dumps(payload, indent=1, sort_keys=True))
             return 0
         print(f"# diff: a={args.run}  b={args.baseline}")
-        print(baseline.format_diff(report) if args.swap
-              else report.format_diff(baseline))
+        print(a.format_diff(b))
+        if args.fabric:
+            print()
+            if fab_a is None or fab_b is None:
+                print("# fabric: not embedded in both reports "
+                      "(run with fabric_probe=True)")
+            else:
+                print("# fabric diff (per-link phits, a vs b)")
+                print(fab_a.format_diff(fab_b))
         return 0
     if args.json:
         payload = report.to_dict()
@@ -62,6 +89,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(f"{value:>14}  {name}")
         return 0
     print(report.format(limit=args.limit))
+    if args.fabric:
+        fab = _fabric_of(report)
+        print()
+        if fab is None:
+            print("# fabric: not embedded in this report "
+                  "(run with fabric_probe=True)")
+        else:
+            print(fab.format())
+    return 0
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from ..network.observatory import FabricReport
+
+    if args.calibrate:
+        from ..jsim.calibrate import calibrate
+
+        result = calibrate()
+        if args.json:
+            print(json.dumps({
+                "kind": "calibration",
+                "scale": result.scale,
+                "default_scale": result.default_scale,
+                "points": [vars(p) for p in result.points],
+            }, indent=1, sort_keys=True))
+        else:
+            print(result.format())
+        return 0
+    if args.run is None:
+        print("fabric: a run/report JSON is required unless --calibrate",
+              file=sys.stderr)
+        return 2
+    with open(args.run, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and "links" in data:
+        fab = FabricReport.from_dict(data)  # a saved FabricReport
+    else:
+        fab = _fabric_of(SimReport(data.get("metrics", {}),
+                                   data.get("meta", {})))
+    if fab is None:
+        print(f"{args.run}: no fabric payload — pass a FabricReport JSON "
+              "or a SimReport from a fabric_probe=True run",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(fab.to_dict(), indent=1, sort_keys=True))
+        return 0
+    if args.z is not None:
+        print(fab.heatmap(dim=args.dim, z=args.z, direction=args.dir))
+        return 0
+    print(fab.format(top=args.top, dim=args.dim, direction=args.dir))
     return 0
 
 
@@ -180,7 +258,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     report.add_argument("--json", action="store_true",
                         help="machine-readable JSON output (report or "
                              "diff) for service-level tooling")
+    report.add_argument("--fabric", action="store_true",
+                        help="also show the embedded fabric-observatory "
+                             "section (per-link diff in diff mode)")
     report.set_defaults(fn=_cmd_report)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="congestion heatmap and hotspot table from a run artifact "
+             "(a SimReport with an embedded fabric section, or a saved "
+             "FabricReport JSON)",
+    )
+    fabric.add_argument("run", nargs="?", default=None,
+                        help="run/report JSON file (omit with --calibrate)")
+    fabric.add_argument("--calibrate", action="store_true",
+                        help="run the flit-level load sweep and fit the "
+                             "macro LatencyModel's contention scale "
+                             "(prints model-vs-measured residuals)")
+    fabric.add_argument("--top", type=int, default=8,
+                        help="hot links to list (default: 8)")
+    fabric.add_argument("--dim", type=int, default=0, choices=(0, 1, 2),
+                        help="heatmap dimension: 0=x 1=y 2=z (default: 0)")
+    fabric.add_argument("--dir", type=int, default=1, choices=(-1, 1),
+                        help="heatmap link direction (default: +1)")
+    fabric.add_argument("--z", type=int, default=None,
+                        help="print only the Z=<n> slice's heatmap grid")
+    fabric.add_argument("--json", action="store_true",
+                        help="dump the FabricReport as JSON")
+    fabric.set_defaults(fn=_cmd_fabric)
 
     def _live_args(sub_parser):
         sub_parser.add_argument("--workload", choices=("lcs", "ping"),

@@ -74,6 +74,16 @@ _FLOW_PHASES = {
 
 _PRIORITY_NAMES = {0: "P0", 1: "P1", 2: "BG"}
 
+#: Synthetic process id for fabric-wide counter tracks (far above any
+#: plausible node id, so it can never collide with a node track).
+_FABRIC_PID = 1_000_000
+
+
+def _link_label(channel) -> str:
+    from ..network.observatory import link_name
+
+    return link_name(channel)
+
 # Stored event tuple layout: (ts, kind, node, priority, name, dur, args).
 Event = Tuple[int, str, int, int, Optional[str], Optional[int],
               Optional[Dict[str, Any]]]
@@ -161,7 +171,8 @@ class EventBus:
 
     # -- Chrome trace-event format -------------------------------------------
 
-    def to_chrome_trace(self) -> Dict[str, Any]:
+    def to_chrome_trace(self, counters: bool = False, mesh=None,
+                        link_tracks: int = 16) -> Dict[str, Any]:
         """The ``{"traceEvents": [...]}`` dict Perfetto loads.
 
         Tracks: ``pid`` = node id, ``tid`` = priority level (0 = P0,
@@ -169,15 +180,57 @@ class EventBus:
         Begin/end slices are kept structurally balanced: an end with no
         open slice on its track demotes to an instant marker, and slices
         still open when the log ends are closed at the last timestamp.
+
+        ``counters=True`` additionally emits Perfetto counter ("C")
+        tracks, reconstructed offline from the event stream so
+        collection stays exactly as cheap as before:
+
+        * a per-node **queue depth** counter (deliver raises it,
+          dispatch lowers it — the live occupancy of the message queue);
+        * a cumulative **chaos events** counter on a synthetic fabric
+          process;
+        * with a ``mesh`` (:class:`~repro.network.topology.Mesh3D`),
+          cumulative per-link **phit** counters for the ``link_tracks``
+          busiest directed channels, recovered by replaying each send
+          through the deterministic e-cube router — the timeline twin of
+          :class:`~repro.network.observatory.FabricReport`'s totals.
+
+        Both are **off by default**: the exact body layout of the plain
+        export is pinned by tests and downstream tooling.
         """
+        link_cum: Dict[tuple, int] = {}
+        hot_links: set = set()
+        send_phits: Dict[int, tuple] = {}
+        if counters and mesh is not None:
+            from ..core.costs import PHITS_PER_WORD
+            from ..network.fabric import FRAMING_PHITS
+            from ..network.routing import INJECT, route
+
+            phits_per_word = PHITS_PER_WORD
+            totals: Dict[tuple, int] = {}
+            for index, (ts, kind, node, _pri, _name, _dur,
+                        args) in enumerate(self.events):
+                if kind != "send" or not args or "dest" not in args:
+                    continue
+                phits = (phits_per_word * args.get("words", 1)
+                         + FRAMING_PHITS)
+                path = tuple(ch for ch in route(mesh, node, args["dest"])
+                             if ch[1] < INJECT)
+                send_phits[index] = (path, phits)
+                for channel in path:
+                    totals[channel] = totals.get(channel, 0) + phits
+            ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+            hot_links = {channel for channel, _ in ranked[:link_tracks]}
+        queue_depth: Dict[int, int] = {}
+        chaos_count = 0
         body: List[Dict[str, Any]] = []
         depth: Dict[Tuple[int, int], int] = {}
         tracks = set()
         max_ts = 0
         # Stable sort: fast-path blocks may append run-ahead virtual
         # times before a peer's earlier ones; ties keep emission order.
-        for ts, kind, node, priority, name, dur, args in sorted(
-                self.events, key=lambda e: e[0]):
+        for index, (ts, kind, node, priority, name, dur, args) in sorted(
+                enumerate(self.events), key=lambda pair: pair[1][0]):
             track = (node, priority)
             tracks.add(track)
             event: Dict[str, Any] = {
@@ -222,6 +275,35 @@ class EventBus:
                     if flow_ph == "f":
                         flow["bp"] = "e"  # bind to the enclosing slice
                     body.append(flow)
+            if counters:
+                if kind in ("deliver", "dispatch"):
+                    level = max(0, queue_depth.get(node, 0)
+                                + (1 if kind == "deliver" else -1))
+                    queue_depth[node] = level
+                    body.append({
+                        "name": "queue depth", "cat": "counter", "ph": "C",
+                        "ts": ts, "pid": node, "tid": 0,
+                        "args": {"messages": level},
+                    })
+                elif kind == "chaos":
+                    chaos_count += 1
+                    body.append({
+                        "name": "chaos events", "cat": "counter", "ph": "C",
+                        "ts": ts, "pid": _FABRIC_PID, "tid": 0,
+                        "args": {"count": chaos_count},
+                    })
+                if index in send_phits:
+                    path, phits = send_phits[index]
+                    for channel in path:
+                        if channel not in hot_links:
+                            continue
+                        link_cum[channel] = link_cum.get(channel, 0) + phits
+                        body.append({
+                            "name": f"link {_link_label(channel)} phits",
+                            "cat": "counter", "ph": "C", "ts": ts,
+                            "pid": _FABRIC_PID, "tid": 0,
+                            "args": {"phits": link_cum[channel]},
+                        })
         for (node, priority), open_slices in sorted(depth.items()):
             for _ in range(open_slices):
                 body.append({
@@ -242,15 +324,24 @@ class EventBus:
                 "args": {"name": _PRIORITY_NAMES.get(priority,
                                                      f"t{priority}")},
             })
+        if counters and (chaos_count or link_cum):
+            meta.append({
+                "name": "process_name", "ph": "M", "ts": 0,
+                "pid": _FABRIC_PID, "tid": 0,
+                "args": {"name": "fabric"},
+            })
         return {"traceEvents": meta + body, "displayTimeUnit": "ms"}
 
-    def write_chrome_trace(self, path: str) -> int:
+    def write_chrome_trace(self, path: str, counters: bool = False,
+                           mesh=None, link_tracks: int = 16) -> int:
         """Write the Perfetto-loadable JSON; returns the event count.
 
-        Warns (``RuntimeWarning``) when the bus dropped events — see
-        :meth:`write_jsonl`.
+        ``counters``/``mesh``/``link_tracks`` pass through to
+        :meth:`to_chrome_trace`.  Warns (``RuntimeWarning``) when the
+        bus dropped events — see :meth:`write_jsonl`.
         """
-        trace = self.to_chrome_trace()
+        trace = self.to_chrome_trace(counters=counters, mesh=mesh,
+                                     link_tracks=link_tracks)
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(trace, fh)
         self._warn_if_truncated(path)

@@ -122,16 +122,20 @@ class SamplePoint:
     known), ``eta_s``, and ``stalled`` (0/1).  ``stall`` is only
     present on stalled cycle-level frames and carries compact
     :class:`~repro.chaos.watchdog.NodeSnapshot` dicts of the implicated
-    nodes.
+    nodes.  ``fabric`` is only present when the sampled fabric has an
+    observatory probe attached and carries a
+    :meth:`~repro.network.observatory.FabricReport.to_dict` payload
+    (per-link loads, stall split, heat-map raw material).
     """
 
     __slots__ = ("seq", "sim_now", "wall_s", "source", "metrics",
-                 "derived", "stall")
+                 "derived", "stall", "fabric")
 
     def __init__(self, seq: int, sim_now: int, wall_s: float, source: str,
                  metrics: Dict[str, Number],
                  derived: Dict[str, Number],
-                 stall: Optional[Dict[str, Any]] = None) -> None:
+                 stall: Optional[Dict[str, Any]] = None,
+                 fabric: Optional[Dict[str, Any]] = None) -> None:
         self.seq = seq
         self.sim_now = sim_now
         self.wall_s = wall_s
@@ -139,6 +143,7 @@ class SamplePoint:
         self.metrics = metrics
         self.derived = derived
         self.stall = stall
+        self.fabric = fabric
 
     def to_dict(self) -> Dict[str, Any]:
         """The JSON frame served by ``/snapshot.json`` and ``/stream``."""
@@ -152,6 +157,8 @@ class SamplePoint:
         }
         if self.stall is not None:
             out["stall"] = self.stall
+        if self.fabric is not None:
+            out["fabric"] = self.fabric
         return out
 
     @staticmethod
@@ -162,6 +169,7 @@ class SamplePoint:
             metrics=data.get("metrics", {}),
             derived=data.get("derived", {}),
             stall=data.get("stall"),
+            fabric=data.get("fabric"),
         )
 
 
@@ -258,10 +266,20 @@ class LiveSampler:
                 from .wiring import register_machine_metrics
 
                 register_machine_metrics(target, registry)
+                bus = target.fabric._events
             else:
                 from .wiring import register_macro_metrics
 
                 register_macro_metrics(target, registry)
+                bus = getattr(target, "_ebus", None)
+            if bus is not None:
+                # An event bus wired without a Telemetry rig (e.g. by a
+                # chaos harness) still surfaces its health on /metrics,
+                # same names as Telemetry.__init__ registers.
+                registry.register_source(
+                    "events",
+                    lambda: {"collected": len(bus), "dropped": bus.dropped},
+                )
         self._registry = registry
         self._target = target
         if run_limit is not None:
@@ -308,8 +326,14 @@ class LiveSampler:
             registry = self._registry
         self.samples += 1
         metrics = registry.snapshot()
-        source = "serial" if hasattr(target, "fabric") else "macro"
-        point = self._build_point(now, metrics, source, target)
+        fab = getattr(target, "fabric", None)
+        source = "serial" if fab is not None else "macro"
+        fabric = None
+        if fab is not None and fab.probe is not None:
+            from ..network.observatory import FabricReport
+
+            fabric = FabricReport.from_fabric(fab, now).to_dict()
+        point = self._build_point(now, metrics, source, target, fabric)
         self.sample_cost_s += time.perf_counter() - t0
         self.policy.mark(now)
         return point
@@ -355,7 +379,15 @@ class LiveSampler:
         metrics.update(
             {f"live.{key}": value
              for key, value in self._health().items()})
-        point = self._build_point(now, metrics, "parallel", None)
+        fabric = None
+        if replay.probe is not None:
+            from ..network.observatory import FabricReport
+
+            # The whole fabric runs on the coordinator's replay clone,
+            # so its probe is exact even mid-epoch.
+            fabric = FabricReport.from_probe(
+                replay.probe, machine.mesh.dims, now).to_dict()
+        point = self._build_point(now, metrics, "parallel", None, fabric)
         self.sample_cost_s += time.perf_counter() - t0
         self.policy.mark(now)
         return point
@@ -363,7 +395,8 @@ class LiveSampler:
     # -- frame construction --------------------------------------------------
 
     def _build_point(self, now: int, metrics: Dict[str, Number],
-                     source: str, target) -> SamplePoint:
+                     source: str, target,
+                     fabric: Optional[Dict[str, Any]] = None) -> SamplePoint:
         wall = time.monotonic() - self._wall0
         with self._lock:
             prev = self.points[-1] if self.points else None
@@ -410,7 +443,7 @@ class LiveSampler:
         else:
             derived["stalled"] = 0
         point = SamplePoint(self._seq, now, round(wall, 6), source,
-                            metrics, derived, stall)
+                            metrics, derived, stall, fabric)
         with self._new_frame:
             self._seq += 1
             if len(self.points) == self.points.maxlen:

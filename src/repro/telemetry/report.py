@@ -59,6 +59,12 @@ class SimReport:
             "nodes": machine.mesh.n_nodes,
             "cycles": machine.now,
         }
+        probe = getattr(machine.fabric, "probe", None)
+        if probe is not None:
+            from ..network.observatory import FabricReport
+
+            full_meta["fabric"] = FabricReport.from_fabric(
+                machine.fabric, machine.now).to_dict()
         full_meta.update(meta or {})
         return cls.from_registry(registry, full_meta)
 
@@ -138,7 +144,14 @@ class SimReport:
 
     def format(self, limit: Optional[int] = None) -> str:
         """A human-readable listing (meta block, then sorted metrics)."""
-        lines = [f"# {k}: {v}" for k, v in sorted(self.meta.items())]
+        lines = []
+        for k, v in sorted(self.meta.items()):
+            if k == "fabric" and isinstance(v, dict):
+                links = len(v.get("links", {}))
+                lines.append(f"# fabric: {links} links observed "
+                             "(see --fabric / FabricReport)")
+            else:
+                lines.append(f"# {k}: {v}")
         names = sorted(self.metrics)
         shown = names if limit is None else names[:limit]
         width = max((len(n) for n in shown), default=0)

@@ -20,6 +20,11 @@ sample ring on three endpoints:
     Server-sent events: one ``data: <frame-json>`` message per sample
     frame, starting with the retained backlog, then following new
     frames as they land; a comment keepalive is emitted while idle.
+``/fabric.json``
+    The latest frame's fabric-observatory payload (per-link loads,
+    stall-cause split, queue-occupancy summaries — see
+    :class:`~repro.network.observatory.FabricReport`).  ``{}`` unless
+    the sampled fabric has a probe attached.
 
 Thread-safety contract: HTTP handler threads only ever read
 sampler-captured frames (taken on the simulation thread at its safe
@@ -108,7 +113,8 @@ def render_prometheus(point: Optional[SamplePoint]) -> str:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes /metrics, /snapshot.json, /stream; reads frames only."""
+    """Routes /metrics, /snapshot.json, /fabric.json, /stream; reads
+    frames only."""
 
     protocol_version = "HTTP/1.1"
     server: "LiveServer"
@@ -133,6 +139,12 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/snapshot.json":
             point = sampler.latest()
             payload = point.to_dict() if point is not None else {"samples": 0}
+            self._send(200, "application/json",
+                       json.dumps(payload).encode())
+        elif path == "/fabric.json":
+            point = sampler.latest()
+            payload = (point.fabric if point is not None
+                       and point.fabric is not None else {})
             self._send(200, "application/json",
                        json.dumps(payload).encode())
         elif path == "/stream":

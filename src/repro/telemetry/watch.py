@@ -11,6 +11,8 @@ as a full-screen text dashboard:
 * a per-node utilization heatmap (busy-fraction since the previous
   frame, one shaded cell per node, row-major in node order);
 * queue high-water bars for the hottest nodes;
+* a fabric-observatory pane (stall-cause split, hottest links, link-load
+  heat map) whenever the sampled fabric carries a probe;
 * network in-flight / submitted / completed, chaos and retry counters
   when fault injection is armed, and the event-stream + sampler health
   line (``events.dropped``, ``live.sample_cost_us``).
@@ -193,6 +195,33 @@ def _counters(point: SamplePoint) -> List[str]:
     return lines
 
 
+def _fabric_pane(point: SamplePoint, top: int = 4) -> List[str]:
+    """Congestion pane from the frame's fabric-observatory payload.
+
+    Present only when the sampled fabric has a probe attached (the
+    frame's ``fabric`` field rides the same JSON path locally and over
+    SSE, so remote watch gets the pane too).
+    """
+    if point.fabric is None:
+        return []
+    from ..network.observatory import FabricReport, link_name
+
+    fab = FabricReport.from_dict(point.fabric)
+    lines = [f"fabric: {len(fab.links)} links observed  stalls "
+             f"busy={fab.stalls['channel_busy']} "
+             f"outage={fab.stalls['link_outage']} "
+             f"backpressure={fab.stalls['backpressure']}"]
+    ranked = fab.top_links(top)
+    hot = "  ".join(
+        f"{link_name(link)}={info['phits']}"
+        f"{'*' if fab.is_midplane(link) else ''}"
+        for link, info in ranked)
+    if hot:
+        lines.append(f"hot links (phits, *=midplane): {hot}")
+    lines.extend(fab.heatmap(dim=0, z=0, direction=1).splitlines())
+    return lines
+
+
 def render_frame(point: SamplePoint, prev: Optional[SamplePoint] = None,
                  width: int = 72) -> str:
     """One dashboard frame as a plain-text block (no ANSI codes)."""
@@ -205,6 +234,10 @@ def render_frame(point: SamplePoint, prev: Optional[SamplePoint] = None,
     if bars:
         lines.append("")
         lines.extend(bars)
+    fabric = _fabric_pane(point)
+    if fabric:
+        lines.append("")
+        lines.extend(fabric)
     counters = _counters(point)
     if counters:
         lines.append("")

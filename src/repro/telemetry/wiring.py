@@ -140,6 +140,72 @@ def _route_cache_source(fabric):
     return sample
 
 
+# The fabric-observatory sources below return ``{}`` while no probe is
+# attached, so un-probed snapshots carry not a single extra key — the
+# ``net.link.*`` / ``net.stall.*`` / ``net.dim.*`` /
+# ``net.router.inject_queue.*`` families appear only on probed runs.
+# The names are pinned by repro.network.observatory.FABRIC_METRICS and
+# the docs/OBSERVABILITY.md §8 sync test.
+
+
+def _probe_link_source(machine):
+    def sample():
+        probe = machine.fabric.probe
+        if probe is None:
+            return {}
+        link_phits = probe.link_phits
+        peak = max(link_phits.values()) if link_phits else 0
+        elapsed = probe.elapsed(machine.now)
+        return {
+            "observed": len(link_phits),
+            "phits": sum(link_phits.values()),
+            "messages": sum(probe.link_messages.values()),
+            "peak_phits": peak,
+            "peak_utilization": round(peak / elapsed, 6),
+            "blocked_cycles": sum(probe.link_blocked.values()),
+        }
+
+    return sample
+
+
+def _probe_stall_source(fabric):
+    def sample():
+        probe = fabric.probe
+        if probe is None:
+            return {}
+        return {
+            "channel_busy": probe.stall_channel_busy,
+            "link_outage": probe.stall_link_outage,
+            "backpressure": probe.stall_backpressure,
+        }
+
+    return sample
+
+
+def _probe_dim_source(fabric):
+    def sample():
+        probe = fabric.probe
+        if probe is None:
+            return {}
+        out = {}
+        for dim, letter in enumerate("xyz"):
+            out[f"{letter}.hops"] = probe.dim_hops[dim]
+            out[f"{letter}.phits"] = probe.dim_phits[dim]
+        return out
+
+    return sample
+
+
+def _probe_queue_source(fabric):
+    def sample():
+        probe = fabric.probe
+        if probe is None:
+            return {}
+        return probe.inject_queue_summary()
+
+    return sample
+
+
 def register_machine_metrics(machine, registry: MetricsRegistry) -> None:
     """Register the standard cycle-level sources for ``machine``."""
     registry.register_source("machine.cycles", lambda: machine.now)
@@ -157,6 +223,11 @@ def register_machine_metrics(machine, registry: MetricsRegistry) -> None:
                              _route_cache_source(machine.fabric))
     registry.register_source("net.latency",
                              lambda: machine.fabric.stats.latency)
+    registry.register_source("net.link", _probe_link_source(machine))
+    registry.register_source("net.stall", _probe_stall_source(machine.fabric))
+    registry.register_source("net.dim", _probe_dim_source(machine.fabric))
+    registry.register_source("net.router.inject_queue",
+                             _probe_queue_source(machine.fabric))
 
 
 def install_machine_events(machine, bus) -> None:

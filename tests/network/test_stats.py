@@ -100,11 +100,32 @@ class TestMerge:
         a.merge(LatencySummary())  # merging an empty one changes nothing
         assert a.count == 1
 
+    def test_merge_two_empties_stays_empty(self):
+        a, b = LatencySummary(), LatencySummary()
+        a.merge(b)
+        assert a.count == 0
+        assert a.min is None and a.max is None
+        assert a.snapshot() == LatencySummary().snapshot()
+
     def test_merge_rejects_different_buckets(self):
         a = LatencySummary(bounds=(1, 2, 4))
         b = LatencySummary()
         with pytest.raises(ValueError):
             a.merge(b)
+
+    def test_merge_preserves_overflow_bucket(self):
+        """Values past the last bound land in the overflow bucket, and
+        merging keeps both the bucket count and the true max."""
+        a = LatencySummary(bounds=(10,))
+        b = LatencySummary(bounds=(10,))
+        a.record(5)
+        b.record(700)
+        b.record(9000)
+        a.merge(b)
+        assert a.count == 3
+        assert a.max == 9000
+        assert a.buckets[-1] == 2  # both overflow values survived
+        assert a.p99 == 9000       # overflow estimate clamps to max
 
     def test_snapshot_keys(self):
         summary = LatencySummary()

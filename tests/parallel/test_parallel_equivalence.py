@@ -173,6 +173,24 @@ class TestRuntimeApps:
                 assert machine._parallel_skip_reason is None
         assert runs[0] == runs[1]
 
+    def test_ping_probed_reports_identical(self):
+        """Fabric-observatory counters fold back exactly: a probed run
+        under 4 shards produces a FabricReport *equal* to the serial
+        one — same per-link phits, stalls, and queue histograms."""
+        from repro.runtime.rpc import run_ping
+
+        runs = []
+        for shards in (0, 4):
+            machine = JMachine(
+                MachineConfig(dims=(4, 4, 1), parallel_shards=shards,
+                              fabric_probe=True))
+            run_ping(machine, 0, 15, iterations=5, stop="quiescent")
+            runs.append(machine.fabric_report())
+            if shards:
+                assert machine._parallel_skip_reason is None
+        assert runs[0] == runs[1]
+        assert runs[0].messages > 0 and runs[0].links
+
     def test_reduction_quiescent_identical(self):
         from repro.runtime.reduce import run_reduction
 

@@ -117,3 +117,63 @@ class TestChromeTrace:
         trace = bus.to_chrome_trace()
         body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
         assert [e["ts"] for e in body] == [10, 50]
+
+
+class TestCounterTracks:
+    """Perfetto counter tracks are opt-in and reconstructed offline."""
+
+    def _loaded_bus(self):
+        bus = EventBus()
+        bus.emit("send", 0, 0, 0, dest=3, words=4)
+        bus.emit("deliver", 10, 3, 0)
+        bus.emit("deliver", 12, 3, 0)
+        bus.emit("dispatch", 14, 3, 0, name="h")
+        bus.emit("chaos", 20, 1, 0, name="link-outage")
+        bus.emit("send", 25, 0, 0, dest=1, words=1)
+        return bus
+
+    def test_plain_trace_has_no_counters(self):
+        trace = self._loaded_bus().to_chrome_trace()
+        assert all(e["ph"] != "C" for e in trace["traceEvents"])
+
+    def test_queue_depth_follows_deliver_and_dispatch(self):
+        trace = self._loaded_bus().to_chrome_trace(counters=True)
+        depth = [(e["ts"], e["args"]["messages"])
+                 for e in trace["traceEvents"]
+                 if e["ph"] == "C" and e["name"] == "queue depth"
+                 and e["pid"] == 3]
+        assert depth == [(10, 1), (12, 2), (14, 1)]
+
+    def test_chaos_counter_is_cumulative_on_fabric_process(self):
+        trace = self._loaded_bus().to_chrome_trace(counters=True)
+        chaos = [e for e in trace["traceEvents"]
+                 if e["ph"] == "C" and e["name"] == "chaos events"]
+        assert [e["args"]["count"] for e in chaos] == [1]
+        meta = {e["pid"]: e["args"]["name"]
+                for e in trace["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        assert meta[chaos[0]["pid"]] == "fabric"
+
+    def test_link_tracks_replay_the_router(self):
+        from repro.network.topology import Mesh3D
+
+        trace = self._loaded_bus().to_chrome_trace(
+            counters=True, mesh=Mesh3D(4, 4, 1))
+        links = {}
+        for e in trace["traceEvents"]:
+            if e["ph"] == "C" and e["name"].startswith("link "):
+                links.setdefault(e["name"], []).append(e["args"]["phits"])
+        # send 0->3 (4 words = 10 phits) crosses 0.x+ 1.x+ 2.x+; the
+        # later send 0->1 (1 word = 4 phits) adds to 0.x+ cumulatively.
+        assert links["link 0.x+ phits"] == [10, 14]
+        assert links["link 1.x+ phits"] == [10]
+        assert "link 3.x+ phits" not in links
+
+    def test_link_tracks_cap_keeps_busiest(self):
+        from repro.network.topology import Mesh3D
+
+        trace = self._loaded_bus().to_chrome_trace(
+            counters=True, mesh=Mesh3D(4, 4, 1), link_tracks=1)
+        names = {e["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "C" and e["name"].startswith("link ")}
+        assert names == {"link 0.x+ phits"}

@@ -38,6 +38,32 @@ class TestMachineIntegration:
         assert snap["net.submitted"] == machine.fabric.stats.submitted
         assert snap["net.latency.count"] == machine.fabric.stats.submitted
 
+    def test_probed_snapshot_matches_fabric_metrics_schema(self):
+        """The wiring emits exactly the FABRIC_METRICS names: the
+        scalar families appear on probed runs, the histogram expands
+        like every LatencySummary, and un-probed snapshots carry none
+        of them."""
+        from repro.network.observatory import FABRIC_METRICS
+
+        scalar = {name for name, kind, _unit, _site in FABRIC_METRICS
+                  if kind != "histogram"}
+        telemetry = Telemetry()
+        machine = JMachine(MachineConfig(dims=(2, 2, 1), fabric_probe=True),
+                           telemetry=telemetry)
+        run_ping(machine, 0, 3, iterations=4)
+        snap = telemetry.registry.snapshot()
+        families = {name for name in snap
+                    if name.startswith(("net.link.", "net.stall.",
+                                        "net.dim."))}
+        assert families == scalar
+        assert snap["net.link.phits"] > 0
+        assert snap["net.router.inject_queue.count"] > 0
+        bare = Telemetry()
+        _ping_machine(bare)
+        assert not any(name.startswith(("net.link.", "net.stall.",
+                                        "net.dim.", "net.router."))
+                       for name in bare.registry.snapshot())
+
     def test_events_match_fabric_counters(self):
         telemetry = Telemetry()
         machine = _ping_machine(telemetry)

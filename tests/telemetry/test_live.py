@@ -259,3 +259,46 @@ class TestMacroEquivalence:
         assert sampled_digest == plain_digest
         # Chaos health rides along in every frame.
         assert all("chaos.drops" in p.metrics for p in sampler.points)
+
+
+class TestFabricFrames:
+    """Probed runs carry a fabric payload in every frame; un-probed
+    runs carry none (docs/OBSERVABILITY.md §8)."""
+
+    def _sampled_ping(self, probe):
+        machine = JMachine(MachineConfig(dims=(2, 2, 1), fabric_probe=probe),
+                           telemetry=Telemetry())
+        sampler = LiveSampler(SamplePolicy(every_cycles=50)).attach(machine)
+        run_ping(machine, 0, 3, iterations=4)
+        return sampler.latest()
+
+    def test_point_round_trips_fabric(self):
+        fabric = {"dims": [2, 2, 1], "elapsed": 10, "messages": 1,
+                  "links": {}, "dim_hops": [0, 0, 0], "dim_phits": [0, 0, 0],
+                  "stalls": {}, "node_backpressure": {},
+                  "queue_occupancy": {}}
+        point = SamplePoint(0, 0, 0.0, "serial", {}, {}, fabric=fabric)
+        clone = SamplePoint.from_dict(point.to_dict())
+        assert clone.fabric == fabric
+        assert clone.to_dict() == point.to_dict()
+
+    def test_fabric_omitted_when_absent(self):
+        point = SamplePoint(0, 0, 0.0, "serial", {}, {})
+        assert point.fabric is None
+        assert "fabric" not in point.to_dict()
+
+    def test_probed_frames_carry_link_loads(self):
+        from repro.network.observatory import FabricReport
+
+        point = self._sampled_ping(probe=True)
+        assert point.fabric is not None
+        report = FabricReport.from_dict(point.fabric)
+        assert report.messages > 0 and report.links
+        assert point.metrics["net.link.phits"] > 0
+
+    def test_unprobed_frames_stay_clean(self):
+        point = self._sampled_ping(probe=False)
+        assert point.fabric is None
+        assert not any(name.startswith(("net.link.", "net.stall.",
+                                        "net.dim.", "net.router."))
+                       for name in point.metrics)

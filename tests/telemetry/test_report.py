@@ -106,3 +106,61 @@ def test_cli_report_json_diff(tmp_path):
     assert doc["kind"] == "diff"
     assert doc["diff"] == {"x": [1, 5]}
     assert doc["a"]["path"] == str(a)
+
+
+def _probed_run(tmp_path, name="fabrun.json", iterations=4):
+    from repro.machine.config import MachineConfig
+    from repro.machine.jmachine import JMachine
+    from repro.runtime.rpc import run_ping
+    from repro.telemetry import Telemetry
+
+    machine = JMachine(MachineConfig(dims=(2, 2, 1), fabric_probe=True),
+                       telemetry=Telemetry())
+    run_ping(machine, 0, 3, iterations=iterations)
+    report = SimReport.from_machine(machine)
+    path = tmp_path / name
+    report.save(str(path))
+    return report, path
+
+
+def test_from_machine_embeds_fabric_meta(tmp_path):
+    report, _path = _probed_run(tmp_path)
+    assert "fabric" in report.meta
+    assert report.meta["fabric"]["links"]
+    # The text rendering condenses it to one line instead of dumping
+    # the whole per-link payload.
+    text = report.format()
+    assert "# fabric:" in text and "links observed" in text
+    assert "queue_occupancy" not in text
+
+
+def test_from_machine_without_probe_has_no_fabric_meta():
+    from repro.machine.config import MachineConfig
+    from repro.machine.jmachine import JMachine
+
+    machine = JMachine(MachineConfig(dims=(2, 2, 1)))
+    assert "fabric" not in SimReport.from_machine(machine).meta
+
+
+def test_cli_fabric_prints_hotspots(tmp_path):
+    _report, path = _probed_run(tmp_path)
+    proc = _cli("fabric", str(path))
+    assert proc.returncode == 0, proc.stderr
+    assert "fabric observatory:" in proc.stdout
+    assert "link load: dim=X" in proc.stdout
+
+
+def test_cli_report_fabric_flag(tmp_path):
+    _report, path = _probed_run(tmp_path)
+    proc = _cli("report", str(path), "--fabric")
+    assert proc.returncode == 0, proc.stderr
+    assert "fabric observatory:" in proc.stdout
+
+
+def test_cli_report_fabric_diff(tmp_path):
+    _a, path_a = _probed_run(tmp_path, "a.json", iterations=4)
+    _b, path_b = _probed_run(tmp_path, "b.json", iterations=8)
+    proc = _cli("report", str(path_a), str(path_b), "--fabric")
+    assert proc.returncode == 0, proc.stderr
+    assert "# fabric diff (per-link phits, a vs b)" in proc.stdout
+    assert "delta=" in proc.stdout

@@ -133,3 +133,47 @@ class TestLiveServer:
         with pytest.raises(urllib.error.HTTPError) as err:
             urllib.request.urlopen(server.url + "/nope", timeout=10)
         assert err.value.code == 404
+
+
+class TestFabricEndpoint:
+    @pytest.fixture()
+    def probed_server(self):
+        telemetry = Telemetry()
+        machine = JMachine(MachineConfig(dims=(2, 2, 1), fabric_probe=True),
+                           telemetry=telemetry)
+        rig = LiveSampler(SamplePolicy(every_cycles=50)).attach(machine)
+        run_ping(machine, 0, 3, iterations=4)
+        server = LiveServer(rig)
+        server.start_background()
+        yield server, rig
+        server.stop()
+
+    def test_fabric_json_serves_latest_payload(self, probed_server):
+        server, rig = probed_server
+        payload = json.loads(urllib.request.urlopen(
+            server.url + "/fabric.json", timeout=10).read())
+        assert payload == rig.latest().fabric
+        assert payload["links"]
+
+    def test_fabric_json_empty_without_probe(self):
+        machine = JMachine(MachineConfig(dims=(2, 2, 1)),
+                           telemetry=Telemetry())
+        rig = LiveSampler(SamplePolicy(every_cycles=50)).attach(machine)
+        run_ping(machine, 0, 3, iterations=4)
+        server = LiveServer(rig)
+        server.start_background()
+        try:
+            payload = json.loads(urllib.request.urlopen(
+                server.url + "/fabric.json", timeout=10).read())
+        finally:
+            server.stop()
+        assert payload == {}
+
+    def test_metrics_surface_links_and_event_counters(self, probed_server):
+        server, _rig = probed_server
+        body = urllib.request.urlopen(server.url + "/metrics",
+                                      timeout=10).read().decode()
+        assert "jm_net_link_phits" in body
+        assert "jm_net_stall_channel_busy" in body
+        assert "jm_events_collected" in body
+        assert "jm_events_dropped" in body

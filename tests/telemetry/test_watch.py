@@ -75,3 +75,22 @@ class TestWatchSampler:
         shown = watch_sampler(sampler, done=lambda: True, plain=True,
                               max_frames=1, out=screen)
         assert shown == 1
+
+
+class TestFabricPane:
+    def test_probed_frame_grows_fabric_pane(self):
+        telemetry = Telemetry()
+        machine = JMachine(MachineConfig(dims=(2, 2, 1), fabric_probe=True),
+                           telemetry=telemetry)
+        sampler = LiveSampler(SamplePolicy(every_cycles=50)).attach(
+            machine, run_limit=400)
+        run_ping(machine, 0, 3, iterations=4)
+        text = render_frame(sampler.latest())
+        assert "fabric:" in text and "links observed" in text
+        assert "hot links (phits, *=midplane):" in text
+        assert "link load: dim=X" in text
+
+    def test_unprobed_frame_has_no_fabric_pane(self):
+        text = render_frame(_sampled_ping().latest())
+        assert "hot links" not in text
+        assert "link load:" not in text

@@ -78,6 +78,25 @@ def test_observability_event_table_matches_event_kinds():
     assert len(rows) == len(documented), "duplicate event-table rows"
 
 
+def test_observability_fabric_table_matches_fabric_metrics():
+    """The docs' fabric-metric table mirrors FABRIC_METRICS row for row."""
+    from repro.network.observatory import FABRIC_METRICS
+
+    text = (DOCS / "OBSERVABILITY.md").read_text()
+    rows = re.findall(
+        r"^\| `(net\.[a-z_.]+)` \| (counter|gauge|histogram) \|", text,
+        flags=re.MULTILINE)
+    documented = {name for name, _ in rows}
+    expected = {name for name, *_ in FABRIC_METRICS}
+    assert documented == expected, (
+        f"undocumented metrics: {sorted(expected - documented)}; "
+        f"stale docs rows: {sorted(documented - expected)}")
+    assert len(rows) == len(documented), "duplicate fabric-table rows"
+    kinds = dict(rows)
+    expected_kinds = {name: kind for name, kind, *_ in FABRIC_METRICS}
+    assert kinds == expected_kinds
+
+
 def test_observability_documents_path_categories():
     """The critical-path category vocabulary is spelled out in the docs."""
     from repro.telemetry.trace import PATH_CATEGORIES
